@@ -1,0 +1,108 @@
+"""Ablation: region size and commit interval.
+
+Design-choice sweeps for two dials the paper motivates:
+
+* **Region size** — §2: regions "may be fairly large ... and include up
+  to 200 x86 instructions.  This provides an extended scope for
+  optimization."  Tiny regions lose scheduling scope and pay more
+  dispatch/chaining overhead; the sweep must show large regions winning
+  on straight-line-hot code.
+* **Commit interval** — commits bound rollback loss and store-buffer
+  occupancy but are scheduling barriers; committing after every couple
+  of instructions should visibly cost molecules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from common import BASELINE, print_table, run_cached
+from repro.workloads import get_workload
+from repro.workloads.base import run_workload
+
+SWEEP_WORKLOAD = "tomcatv"
+
+
+def _run_with(max_instructions=None, commit_interval=None):
+    config = BASELINE
+    if max_instructions is not None:
+        config = replace(config, max_region_instructions=max_instructions)
+    if commit_interval is not None:
+        config = replace(config, commit_interval=commit_interval)
+    return run_workload(get_workload(SWEEP_WORKLOAD), config)
+
+
+def test_region_size_sweep(benchmark):
+    def _collect():
+        results = {}
+        for size in (8, 24, 64, 200):
+            results[size] = _run_with(max_instructions=size)
+        baseline_output = None
+        for result in results.values():
+            if baseline_output is None:
+                baseline_output = result.console_output
+            assert result.console_output == baseline_output
+        return results
+
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    rows = [(f"max {size:3d} instructions",
+             f"{result.total_molecules:>10} molecules  "
+             f"(mpx {result.mpx:5.2f})")
+            for size, result in results.items()]
+    print_table("Ablation: translation region size (tomcatv)", rows,
+                footer="paper §2: large regions give extended "
+                       "optimization scope")
+    # Large regions must beat tiny ones on this loop-dominated kernel.
+    assert results[200].total_molecules < results[8].total_molecules
+    assert results[64].total_molecules <= results[8].total_molecules
+
+
+def test_commit_interval_sweep(benchmark):
+    def _collect():
+        results = {}
+        for interval in (2, 6, 24, 48):
+            results[interval] = _run_with(commit_interval=interval)
+        baseline_output = None
+        for result in results.values():
+            if baseline_output is None:
+                baseline_output = result.console_output
+            assert result.console_output == baseline_output
+        return results
+
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    rows = [(f"commit every {interval:2d} instrs",
+             f"{result.total_molecules:>10} molecules  "
+             f"(mpx {result.mpx:5.2f})")
+            for interval, result in results.items()]
+    print_table("Ablation: commit interval (tomcatv)", rows,
+                footer="commits are scheduling barriers; committing "
+                       "constantly must cost molecules")
+    assert results[24].total_molecules < results[2].total_molecules
+
+
+def test_store_buffer_capacity_guard(benchmark):
+    """A tiny gated store buffer forces overflow faults, and adaptive
+    retranslation responds by committing more often — correctness is
+    preserved throughout."""
+    def _run():
+        # wordperfect's unrolled shift issues four stores per commit
+        # window: a 3-entry buffer overflows on the fourth store.
+        tiny = replace(BASELINE, store_buffer_capacity=3)
+        constrained = run_workload(get_workload("wordperfect"), tiny)
+        normal = run_cached("wordperfect", BASELINE)
+        assert constrained.console_output == normal.console_output
+        stats = constrained.system.stats
+        overflowed = stats.faults.get("STOREBUF_OVERFLOW", 0)
+        print_table(
+            "Ablation: 3-entry gated store buffer (wordperfect)",
+            [("overflow faults", str(overflowed)),
+             ("retranslations", str(stats.retranslations)),
+             ("molecules (3-entry)", str(constrained.total_molecules)),
+             ("molecules (64-entry)", str(normal.total_molecules))],
+        )
+        assert overflowed >= 1, "the tiny buffer never overflowed"
+        assert stats.retranslations >= 1, (
+            "adaptive retranslation should shorten commit windows"
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

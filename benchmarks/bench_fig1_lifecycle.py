@@ -1,0 +1,85 @@
+"""Figure 1: the CMS execution lifecycle.
+
+Qualitative claims from §2: code starts in the interpreter; past the
+execution threshold it is translated; "over time, frequently executed
+regions of code begin to execute entirely within the translation cache,
+without overhead from interpretation, translation, or even
+branch-target lookup" (chaining).
+"""
+
+from __future__ import annotations
+
+from common import BASELINE, print_table, run_cached
+
+HOT_WORKLOADS = ["tomcatv", "compress", "alvinn", "crafty"]
+
+
+def _collect():
+    rows = {}
+    for name in HOT_WORKLOADS:
+        result = run_cached(name, BASELINE)
+        stats = result.system.stats
+        total = max(1, result.guest_instructions)
+        interp_fraction = (stats.interp_instructions
+                           + stats.recovery_interp_instructions) / total
+        chained = stats.chains_followed
+        dispatches = max(1, stats.dispatches)
+        rows[name] = (interp_fraction, stats.translations_made,
+                      chained, dispatches)
+    return rows
+
+
+def test_figure1_lifecycle(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = [
+        (name,
+         f"interp {frac * 100:5.2f}%   translations {count:3d}   "
+         f"chained entries {chained}/{dispatches + chained}")
+        for name, (frac, count, chained, dispatches) in rows.items()
+    ]
+    print_table("Figure 1: execution lifecycle fractions", table,
+                footer="hot code must run almost entirely translated")
+    for name, (frac, count, chained, dispatches) in rows.items():
+        # Hot workloads execute overwhelmingly inside the tcache.
+        assert frac < 0.15, f"{name}: {frac:.2%} interpreted"
+        assert count >= 1
+
+
+def test_figure1_threshold_controls_translation(benchmark):
+    """A higher translation threshold keeps more execution interpreted."""
+    def _run():
+        from dataclasses import replace
+        from repro.workloads.base import run_workload
+        from repro.workloads import get_workload
+
+        eager = run_workload(get_workload("crafty"),
+                             replace(BASELINE, translation_threshold=4))
+        lazy = run_workload(get_workload("crafty"),
+                            replace(BASELINE, translation_threshold=200))
+        assert (lazy.system.stats.interp_instructions
+                > eager.system.stats.interp_instructions)
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def test_figure1_interpreter_only_is_much_slower(benchmark):
+    """The whole point of translating: interpretation costs far more
+    molecule-equivalents per instruction."""
+    def _run():
+        from repro.workloads.base import run_workload
+        from repro.workloads import get_workload
+
+        translated = run_cached("tomcatv", BASELINE)
+        interp_only = run_workload(get_workload("tomcatv"),
+                                   BASELINE.interpreter_only())
+        assert interp_only.console_output == translated.console_output
+        speedup = interp_only.total_molecules / translated.total_molecules
+        print_table(
+            "Interpreter vs translation-cache execution (tomcatv)",
+            [("interpreter-only molecules", str(interp_only.total_molecules)),
+             ("full CMS molecules", str(translated.total_molecules)),
+             ("speedup from translation", f"{speedup:5.1f}x")],
+        )
+        assert speedup > 3.0
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every benchmark reproduces one table or figure from the paper by
+running workloads under contrasting CMS configurations and comparing
+molecule counts (the paper's metric).  Absolute numbers differ from a
+real TM5800; the assertions check the *shape*: which configuration
+wins, roughly by how much, and how workloads order.
+
+Results are printed as paper-style tables and also appended to
+``benchmarks/results.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.cms.config import CMSConfig
+from repro.workloads import ALL_WORKLOADS, run_workload
+from repro.workloads.base import WorkloadResult
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+BASELINE = CMSConfig(translation_threshold=10)
+
+# Representative benchmark sets (subsets keep the harness fast; set
+# REPRO_FULL=1 to run everything the registry has).
+FIG_BOOTS = [
+    "dos_boot", "linux_boot", "os2_boot", "win95_boot", "win98_boot",
+    "winme_boot", "winnt_boot", "winxp_boot",
+]
+FIG_APPS = [
+    "eqntott", "compress", "sc", "gcc", "tomcatv", "ora", "alvinn",
+    "mdljsp2", "multimedia", "cpumark", "quattro_pro", "wordperfect",
+]
+
+_cache: dict[tuple, WorkloadResult] = {}
+
+
+def run_cached(name: str, config: CMSConfig) -> WorkloadResult:
+    """Run a workload once per (workload, config) and memoize."""
+    key = (name, config)
+    if key not in _cache:
+        _cache[key] = run_workload(ALL_WORKLOADS[name], config)
+    return _cache[key]
+
+
+def degradation(name: str, variant: CMSConfig,
+                baseline: CMSConfig = BASELINE) -> float:
+    """Relative molecule-count increase of ``variant`` over baseline."""
+    base = run_cached(name, baseline)
+    varied = run_cached(name, variant)
+    assert varied.console_output == base.console_output, (
+        f"{name}: outputs diverged between configurations"
+    )
+    return varied.degradation_vs(base)
+
+
+def geomean_excess(values: list[float]) -> float:
+    """Arithmetic mean of degradations (as the paper's figures report)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def print_table(title: str, rows: list[tuple[str, str]],
+                footer: str = "") -> None:
+    width = max(len(label) for label, _ in rows) + 2
+    lines = [f"\n== {title} " + "=" * max(0, 60 - len(title)), ""]
+    for label, value in rows:
+        lines.append(f"  {label:<{width}} {value}")
+    if footer:
+        lines.append(f"  {footer}")
+    text = "\n".join(lines)
+    print(text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def no_reorder_config() -> CMSConfig:
+    """Figure 2: suppress all memory reordering."""
+    return replace(BASELINE, reorder_memory=False,
+                   control_speculation=False)
+
+
+def no_alias_config() -> CMSConfig:
+    """Figure 3: no alias hardware — reorder only when provably safe."""
+    return replace(BASELINE, use_alias_hw=False)
+
+
+def no_finegrain_config() -> CMSConfig:
+    """Table 1: page-granularity protection only."""
+    return replace(BASELINE, fine_grain_protection=False)

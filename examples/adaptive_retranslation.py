@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Watch adaptive retranslation converge (paper §3 / §3.5).
+
+The guest kernel stores through one pointer and immediately re-reads
+through another pointer that aliases it exactly — but via arithmetic
+the translator cannot see through.  Speculative reordering therefore
+violates its alias protection on every execution.
+
+CMS's response, visible in the escalation log below: pin the faulting
+store to program order, retranslate, and keep the rest of the region
+fully speculative.  With adaptation disabled, the fault/rollback/
+re-interpret cycle recurs for the entire run.
+
+Run:  python examples/adaptive_retranslation.py
+"""
+
+from dataclasses import replace
+
+from repro import CMSConfig
+from repro.workloads import run_workload
+from repro.workloads.apps import alias_stress
+
+
+def main() -> None:
+    workload = alias_stress()
+    base = CMSConfig()
+
+    adaptive = run_workload(workload, base)
+    frozen = run_workload(workload,
+                          replace(base, adaptive_retranslation=False))
+    assert adaptive.console_output == frozen.console_output
+
+    stats_a = adaptive.system.stats
+    stats_f = frozen.system.stats
+
+    print("the always-aliasing kernel under full CMS:")
+    print(f"  alias faults      : {stats_a.faults.get('ALIAS_VIOLATION', 0)}")
+    print(f"  rollbacks         : {stats_a.rollbacks}")
+    print(f"  retranslations    : {stats_a.retranslations}")
+    print(f"  total molecules   : {adaptive.total_molecules}")
+    print()
+    print("accumulated translation policies (monotone, §3):")
+    controller = adaptive.system.controller
+    for entry in sorted(controller._policies):
+        print(f"  region {entry:#x}: "
+              f"{controller.policy_for(entry).describe()}")
+    print()
+    print("with adaptive retranslation DISABLED:")
+    print(f"  alias faults      : {stats_f.faults.get('ALIAS_VIOLATION', 0)}")
+    print(f"  rollbacks         : {stats_f.rollbacks}")
+    print(f"  total molecules   : {frozen.total_molecules}")
+    print()
+    ratio = frozen.total_molecules / adaptive.total_molecules
+    print(f"adaptive retranslation made this kernel {ratio:.1f}x cheaper —")
+    print("the paper's 'unacceptable overhead' of fault-and-interpret,")
+    print("tamed by generating a more conservative translation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a guest program and run it under CMS.
+
+The guest prints through the console port; the run report shows the
+Figure-1 lifecycle — interpretation with profiling, translation past the
+threshold, then execution out of the translation cache.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CMSConfig, CodeMorphingSystem, Machine
+
+GUEST_PROGRAM = r"""
+start:
+    mov esp, 0x8000
+    mov ebx, message
+print_loop:
+    loadb eax, [ebx]
+    test eax, eax
+    jz compute
+    out 0xE9                 ; console data port
+    inc ebx
+    jmp print_loop
+
+compute:
+    ; a hot loop: becomes a translation after the threshold
+    mov ecx, 0
+    mov esi, 0
+hot_loop:
+    mov eax, ecx
+    imul eax, ecx
+    add esi, eax
+    inc ecx
+    cmp ecx, 10000
+    jne hot_loop
+
+    ; print the low hex digits of the sum
+    mov ecx, 8
+digits:
+    rol esi, 4
+    mov eax, esi
+    and eax, 0xF
+    cmp eax, 10
+    jl digit
+    add eax, 'A' - 10
+    jmp emit
+digit:
+    add eax, '0'
+emit:
+    out 0xE9
+    dec ecx
+    jnz digits
+    cli
+    hlt
+
+message:
+    .asciz "hello from the code morphing software: sum(i*i) = 0x"
+"""
+
+
+def main() -> None:
+    machine = Machine()
+    entry = machine.load_source(GUEST_PROGRAM)
+    system = CodeMorphingSystem(machine, CMSConfig())
+    result = system.run(entry)
+
+    print("guest console output:")
+    print(f"  {result.console_output}")
+    print()
+    print("run statistics:")
+    print(result.stats.summary(system.config.cost))
+    print()
+    translations = system.tcache.translations()
+    print(f"translations in the cache ({len(translations)}):")
+    for translation in translations:
+        print(f"  {translation.describe()}  entries={translation.entries}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The Quake-style self-modifying renderer (paper §3.6).
+
+The game patches its blit kernel's immediate fields every frame (the
+Doom/Premiere pattern), keeps entity state on the same pages as code,
+and blits to a memory-mapped framebuffer.  CMS adapts: stylized-SMC
+translations reload the patched immediates at runtime, self-checking
+guards the rest of the bytes, and self-revalidation prologues absorb
+the data-beside-code faults.
+
+The example reports the frame rate (frames per million molecules) with
+the full machinery, without self-revalidation, and without stylized
+SMC — reproducing the §3.6.2 comparison.
+
+Run:  python examples/selfmodifying_game.py
+"""
+
+from dataclasses import replace
+
+from repro import CMSConfig
+from repro.workloads import run_workload
+from repro.workloads.games import quake_demo2
+
+
+def frame_rate(result) -> float:
+    return result.frames / (result.total_molecules / 1e6)
+
+
+def describe(label: str, result) -> None:
+    stats = result.system.stats
+    print(f"{label}:")
+    print(f"  frame rate        : {frame_rate(result):8.2f} frames/Mmol")
+    print(f"  molecules         : {result.total_molecules}")
+    print(f"  protection faults : {result.system.protection.protection_faults}")
+    print(f"  SMC invalidations : {stats.smc_invalidations}")
+    print(f"  revalidations     : {stats.revalidations_armed} armed, "
+          f"{stats.revalidations_passed} passed")
+    print(f"  translations      : {stats.translations_made}")
+    stylized_regions = sum(
+        1 for entry in result.system.controller._policies
+        if result.system.controller.policy_for(entry).stylized_imm_addrs
+    )
+    print(f"  stylized regions  : {stylized_regions}")
+    print()
+
+
+def main() -> None:
+    workload = quake_demo2()
+    base = CMSConfig()
+
+    full = run_workload(workload, base)
+    print(f"rendered {full.frames} frames; framebuffer checksum "
+          f"{full.system.machine.framebuffer.checksum():#010x}; "
+          f"game checksum {full.console_output.strip()}")
+    print()
+    describe("full CMS (stylized SMC + self-revalidation)", full)
+
+    no_reval = run_workload(workload,
+                            replace(base, self_revalidation=False))
+    describe("without self-revalidation (§3.6.2 ablation)", no_reval)
+
+    no_stylized = run_workload(workload, replace(base, stylized_smc=False))
+    describe("without stylized-SMC immediate reloading (§3.6.4 ablation)",
+             no_stylized)
+
+    gain = frame_rate(full) / frame_rate(no_reval) - 1
+    print(f"self-revalidation frame-rate gain: {gain:+.1%} "
+          f"(paper reports +28%)")
+    for other in (no_reval, no_stylized):
+        assert other.console_output == full.console_output, \
+            "ablations must not change what the game computes"
+
+
+if __name__ == "__main__":
+    main()

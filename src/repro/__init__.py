@@ -1,0 +1,66 @@
+"""repro — a reproduction of the Transmeta Code Morphing Software.
+
+Dehnert et al., *The Transmeta Code Morphing Software: Using
+Speculation, Recovery, and Adaptive Retranslation to Address Real-Life
+Challenges*, CGO 2003.
+
+The package is a complete co-designed virtual machine:
+
+* a binary-encoded x86-subset guest ISA ("t86") with an assembler
+  (:mod:`repro.isa`),
+* a guest machine with MMU, MMIO devices, DMA, interrupts
+  (:mod:`repro.machine`, :mod:`repro.memory`, :mod:`repro.devices`),
+* a Crusoe-style VLIW host with shadowed registers, a gated store
+  buffer, alias hardware and commit/rollback (:mod:`repro.host`),
+* a precise interpreter (:mod:`repro.interp`),
+* an optimizing, speculating dynamic binary translator
+  (:mod:`repro.translator`),
+* and the CMS runtime tying it together (:mod:`repro.cms`).
+
+Quickstart::
+
+    from repro import Machine, CodeMorphingSystem, CMSConfig
+
+    machine = Machine()
+    entry = machine.load_source(r'''
+    start:
+        mov ecx, 0
+    loop:
+        mov eax, 72        ; 'H'
+        out 0xE9
+        inc ecx
+        cmp ecx, 10
+        jne loop
+        cli
+        hlt
+    ''')
+    system = CodeMorphingSystem(machine, CMSConfig())
+    result = system.run(entry)
+    print(result.console_output)
+    print(result.stats.summary(system.config.cost))
+"""
+
+from repro.cms.config import CMSConfig, CostModel
+from repro.cms.stats import CMSStats
+from repro.cms.system import CodeMorphingSystem, RunResult, run_reference
+from repro.isa.assembler import AssemblyError, Program, assemble
+from repro.machine import Machine, MachineConfig
+from repro.state import SimpleGuestState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMSConfig",
+    "CostModel",
+    "CMSStats",
+    "CodeMorphingSystem",
+    "RunResult",
+    "run_reference",
+    "AssemblyError",
+    "Program",
+    "assemble",
+    "Machine",
+    "MachineConfig",
+    "SimpleGuestState",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Translation cache, chaining, and translation groups."""
+
+from repro.cache.groups import TranslationGroups
+from repro.cache.tcache import Translation, TranslationCache
+
+__all__ = ["Translation", "TranslationCache", "TranslationGroups"]

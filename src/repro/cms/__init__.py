@@ -1,0 +1,20 @@
+"""The Code Morphing Software runtime.
+
+``CodeMorphingSystem`` wires the whole co-design together and runs the
+paper's Figure 1 control flow: interpret with profiling, translate past
+the threshold, execute out of the translation cache with chaining, and
+recover from exceptional events by rollback, re-interpretation, and
+adaptive retranslation.
+"""
+
+from repro.cms.config import CMSConfig, CostModel
+from repro.cms.stats import CMSStats
+from repro.cms.system import CodeMorphingSystem, RunResult
+
+__all__ = [
+    "CMSConfig",
+    "CostModel",
+    "CMSStats",
+    "CodeMorphingSystem",
+    "RunResult",
+]

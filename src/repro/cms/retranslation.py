@@ -1,0 +1,151 @@
+"""Adaptive retranslation controller (the heart of §3).
+
+"CMS monitors recurring failures and generates a more conservative
+translation when it deems the rate of failure to be excessive.  To
+reduce the performance impact of conservative translations, CMS also
+attempts to confine the causes of failures to retranslations of smaller
+regions than the originals."
+
+Escalation ladders per fault kind (each stage requires the fault to
+recur ``fault_threshold`` times):
+
+* alias violation (§3.5): narrow the region, then pin the faulting
+  instruction's memory access to program order, then disable memory
+  reordering for the region;
+* speculative MMIO (§3.4): fence the faulting instruction as known-I/O
+  (commit-fenced, never reordered);
+* genuine guest fault (§3.2): narrow the region around the faulting
+  instruction, ultimately pinning it to the interpreter (the paper's
+  "zero-instruction translation that simply calls the interpreter");
+* speculative guest fault: stop hoisting the faulting load, then give up
+  control speculation for the region;
+* store-buffer overflow: commit more often, then narrow.
+
+All adjustments go through ``TranslationPolicy.merge`` so that policies
+only ever accumulate — the paper's defense against "bouncing between
+translations with incomparable policies, neither of which solves both
+problems".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cache.tcache import Translation
+from repro.cms.config import CMSConfig
+from repro.host.faults import HostFault, HostFaultKind
+from repro.translator.policies import TranslationPolicy
+
+MIN_REGION = 12
+
+
+class AdaptiveController:
+    """Tracks failures and escalates translation policies."""
+
+    def __init__(self, config: CMSConfig) -> None:
+        self.config = config
+        self._policies: dict[int, TranslationPolicy] = {}
+        self._site_faults: Counter = Counter()
+        self.escalations = 0
+
+    # ------------------------------------------------------------------
+    # Policy lookup
+    # ------------------------------------------------------------------
+
+    def base_policy(self) -> TranslationPolicy:
+        config = self.config
+        return TranslationPolicy(
+            reorder_memory=config.reorder_memory,
+            use_alias_hw=config.use_alias_hw,
+            control_speculation=config.control_speculation,
+            max_instructions=config.max_region_instructions,
+            commit_interval=config.commit_interval,
+            self_check=config.force_self_check,
+            group_enabled=config.translation_groups,
+        )
+
+    def policy_for(self, entry_eip: int) -> TranslationPolicy:
+        base = self.base_policy()
+        accumulated = self._policies.get(entry_eip)
+        return base if accumulated is None else base.merge(accumulated)
+
+    def set_policy(self, entry_eip: int, policy: TranslationPolicy) -> None:
+        """Record an accumulated policy (used by the SMC manager too)."""
+        current = self._policies.get(entry_eip)
+        self._policies[entry_eip] = (
+            policy if current is None else current.merge(policy)
+        )
+
+    # ------------------------------------------------------------------
+    # Fault accounting and escalation
+    # ------------------------------------------------------------------
+
+    def note_fault(self, translation: Translation, fault: HostFault,
+                   genuine: bool | None) -> TranslationPolicy | None:
+        """Record a fault; return a new policy if retranslation is due."""
+        if not self.config.adaptive_retranslation:
+            return None
+        entry = translation.entry_eip
+        site = fault.guest_addr if fault.guest_addr is not None else entry
+        kind = fault.kind
+        key = (entry, kind, site, bool(genuine))
+        self._site_faults[key] += 1
+        if self._site_faults[key] < self.config.fault_threshold:
+            return None
+        self._site_faults[key] = 0  # each stage re-arms the counter
+        current = self.policy_for(entry)
+        escalated = self._escalate(current, kind, site, genuine)
+        if escalated is None or escalated == current:
+            return None
+        self.escalations += 1
+        self.set_policy(entry, escalated)
+        return self.policy_for(entry)
+
+    def _escalate(self, policy: TranslationPolicy, kind: HostFaultKind,
+                  site: int, genuine: bool | None) -> TranslationPolicy | None:
+        if kind is HostFaultKind.ALIAS_VIOLATION:
+            # Pin the faulting store to program order first — the
+            # surgical fix that leaves the rest of the region fully
+            # speculative — then cut the region, then give up reordering
+            # for the whole region (§3.5).
+            if site not in policy.no_reorder_addrs:
+                return policy.with_(
+                    no_reorder_addrs=policy.no_reorder_addrs | {site}
+                )
+            if policy.max_instructions > MIN_REGION:
+                return policy.with_(
+                    max_instructions=max(MIN_REGION,
+                                         policy.max_instructions // 2)
+                )
+            return policy.with_(reorder_memory=False)
+        if kind is HostFaultKind.SPEC_MMIO:
+            return policy.with_(
+                io_fence_addrs=policy.io_fence_addrs | {site}
+            )
+        if kind is HostFaultKind.GUEST_FAULT:
+            if genuine:
+                # Narrow around the genuinely faulting instruction so the
+                # neighbours stay large and optimized (§3.2).
+                if policy.max_instructions > MIN_REGION:
+                    return policy.with_(
+                        max_instructions=max(MIN_REGION,
+                                             policy.max_instructions // 2)
+                    )
+                return policy.with_(
+                    stop_addrs=policy.stop_addrs | {site}
+                )
+            if site not in policy.no_reorder_addrs:
+                return policy.with_(
+                    no_reorder_addrs=policy.no_reorder_addrs | {site}
+                )
+            return policy.with_(control_speculation=False)
+        if kind is HostFaultKind.STOREBUF_OVERFLOW:
+            if policy.commit_interval > 4:
+                return policy.with_(
+                    commit_interval=max(4, policy.commit_interval // 2)
+                )
+            return policy.with_(
+                max_instructions=max(MIN_REGION,
+                                     policy.max_instructions // 2)
+            )
+        return None  # PROTECTION / SELF_CHECK are the SMC manager's job

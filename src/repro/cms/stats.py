@@ -1,0 +1,98 @@
+"""System-wide statistics and the molecules-per-instruction metric.
+
+The paper's simulator "provides accurate dynamic molecule counts but not
+cycle accuracy"; its headline metric is "molecules executed per x86
+instruction".  ``CMSStats.total_molecules`` is host molecules actually
+executed plus molecule-equivalent charges for CMS-native activities
+(interpretation, translation, fault service), per the ``CostModel``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cms.config import CostModel
+
+
+@dataclass
+class CMSStats:
+    """Counters accumulated during one run."""
+
+    # Execution volume.
+    guest_instructions: int = 0  # retired (interpreted + committed)
+    interp_instructions: int = 0
+    recovery_interp_instructions: int = 0
+    host_molecules: int = 0
+    dispatches: int = 0
+    chains_followed: int = 0
+    chain_patches: int = 0
+    indirect_chains: int = 0  # inline-cache installs for computed exits
+
+    # Translation activity.
+    translations_made: int = 0
+    guest_instructions_translated: int = 0
+    retranslations: int = 0
+    group_reactivations: int = 0
+
+    # Exceptional events.
+    rollbacks: int = 0
+    interrupts_delivered: int = 0
+    guest_exceptions_delivered: int = 0
+    faults: Counter = field(default_factory=Counter)  # by HostFaultKind name
+    speculative_guest_faults: int = 0
+    genuine_guest_faults: int = 0
+    protection_faults: int = 0
+    fg_miss_services: int = 0
+    smc_invalidations: int = 0
+    revalidations_armed: int = 0
+    revalidations_passed: int = 0
+    fuel_exits: int = 0
+
+    def total_molecules(self, cost: CostModel) -> int:
+        """Molecule-equivalents for the whole run."""
+        return (
+            self.host_molecules
+            + (self.interp_instructions + self.recovery_interp_instructions)
+            * cost.interp_per_instruction
+            + self.guest_instructions_translated
+            * cost.translate_per_instruction
+            + self.rollbacks * cost.rollback
+            + self.dispatches * cost.dispatch_lookup
+            + sum(self.faults.values()) * cost.fault_service
+            + self.fg_miss_services * cost.fine_grain_install
+            + (self.interrupts_delivered + self.guest_exceptions_delivered)
+            * cost.interrupt_delivery
+            + self.chain_patches * cost.chain_patch
+        )
+
+    def molecules_per_instruction(self, cost: CostModel) -> float:
+        if self.guest_instructions == 0:
+            return 0.0
+        return self.total_molecules(cost) / self.guest_instructions
+
+    def summary(self, cost: CostModel) -> str:
+        lines = [
+            f"guest instructions   {self.guest_instructions:>12}",
+            f"  interpreted        {self.interp_instructions:>12}"
+            f" (+{self.recovery_interp_instructions} recovery)",
+            f"host molecules       {self.host_molecules:>12}",
+            f"total molecule-equiv {self.total_molecules(cost):>12}",
+            f"mol / instr          "
+            f"{self.molecules_per_instruction(cost):>12.2f}",
+            f"translations         {self.translations_made:>12}"
+            f" ({self.retranslations} adaptive,"
+            f" {self.group_reactivations} group hits)",
+            f"dispatches           {self.dispatches:>12}"
+            f" ({self.chains_followed} chained)",
+            f"rollbacks            {self.rollbacks:>12}",
+            f"interrupts           {self.interrupts_delivered:>12}",
+            f"guest exceptions     {self.guest_exceptions_delivered:>12}",
+        ]
+        if self.faults:
+            fault_list = ", ".join(
+                f"{name}={count}" for name, count in sorted(
+                    self.faults.items())
+            )
+            lines.append(f"host faults          {fault_list}")
+        return "\n".join(lines)

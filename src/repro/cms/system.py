@@ -1,0 +1,403 @@
+"""The Code Morphing System: the paper's Figure 1 control flow.
+
+::
+
+    Start -> interpret (profiling) --threshold--> translate -> tcache
+               ^                                       |
+               |     rollback + recover                v
+               +---------------- fault <--- execute translation --chain--+
+                                                       ^                 |
+                                                       +-----------------+
+
+``CodeMorphingSystem`` owns the guest machine, the host CPU, the
+interpreter (running against the host's committed shadow state), the
+translator, the translation cache, and the adaptive machinery.  Its
+``run`` loop is the dispatcher: execute a translation when one exists
+for the current EIP, interpret (and profile) otherwise, and convert
+every exceptional host event into rollback + recovery + (eventually)
+adaptive retranslation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.groups import TranslationGroups
+from repro.cache.tcache import Translation, TranslationCache
+from repro.cms.config import CMSConfig
+from repro.cms.retranslation import AdaptiveController
+from repro.cms.smc import SMCManager
+from repro.cms.stats import CMSStats
+from repro.cms.trace import Event, EventTrace
+from repro.host.cpu import ExitKind, HostCPU
+from repro.host.faults import HostFault, HostFaultKind
+from repro.host.registers import HostBackedGuestState
+from repro.interp.interpreter import Halted, Interpreter
+from repro.interp.profile import ExecutionProfile
+from repro.machine import Machine
+from repro.memory.finegrain import FineGrainCache
+from repro.memory.protection import ProtectionMap
+from repro.translator.translator import TranslationError, Translator
+
+
+@dataclass
+class RunResult:
+    """Outcome of one ``run`` invocation."""
+
+    halted: bool
+    guest_instructions: int
+    stats: CMSStats
+    console_output: str
+
+    def molecules_per_instruction(self, config: CMSConfig) -> float:
+        return self.stats.molecules_per_instruction(config.cost)
+
+
+class CodeMorphingSystem:
+    """A full co-designed VM instance over one guest machine."""
+
+    def __init__(self, machine: Machine,
+                 config: CMSConfig | None = None) -> None:
+        self.machine = machine
+        self.config = config or CMSConfig()
+        config = self.config
+
+        fine_grain = (FineGrainCache(config.fine_grain_entries)
+                      if config.fine_grain_protection else None)
+        self.protection = ProtectionMap(
+            fine_grain, fine_grain_enabled=config.fine_grain_protection
+        )
+        self.cpu = HostCPU(
+            machine,
+            self.protection,
+            store_buffer_capacity=config.store_buffer_capacity,
+            alias_entries=config.alias_entries,
+        )
+        self.state = HostBackedGuestState(self.cpu.regs)
+        self.profile = ExecutionProfile()
+        self.interpreter = Interpreter(machine, self.state, self.profile)
+        self.translator = Translator(machine, self.profile,
+                                     alias_entries=config.alias_entries)
+        self.tcache = TranslationCache(config.tcache_capacity_molecules)
+        self.groups = TranslationGroups()
+        self.stats = CMSStats()
+        self.trace = EventTrace()
+        self.controller = AdaptiveController(config)
+        self.smc = SMCManager(config, self.tcache, self.groups,
+                              self.protection, machine, self.stats,
+                              self.controller, trace=self.trace)
+
+        self.interpreter.store_hook = self.smc.on_interpreter_store
+        self.cpu.protection_service = self.smc.service_inline
+        self.machine.bus.store_observers.append(self.smc.on_ram_write)
+        self.tcache.on_flush = self._on_tcache_flush
+        self.tcache.on_evict = self._on_tcache_evict
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, entry_eip: int | None = None,
+            max_instructions: int = 50_000_000) -> RunResult:
+        """Run until the guest halts or ``max_instructions`` retire."""
+        if entry_eip is not None:
+            self.state.eip = entry_eip
+        machine = self.machine
+        try:
+            while machine.instructions_retired < max_instructions and \
+                    not self._halted:
+                self._dispatch_once()
+        except Halted:
+            self._halted = True
+        self._finalize_stats()
+        return RunResult(
+            halted=self._halted,
+            guest_instructions=machine.instructions_retired,
+            stats=self.stats,
+            console_output=machine.console.output,
+        )
+
+    def _finalize_stats(self) -> None:
+        self.stats.host_molecules = self.cpu.molecules_executed
+        self.stats.guest_instructions = self.machine.instructions_retired
+        self.stats.interrupts_delivered = \
+            self.interpreter.interrupts_delivered
+        self.stats.guest_exceptions_delivered = \
+            self.interpreter.exceptions_delivered
+
+    # ------------------------------------------------------------------
+    # The dispatcher (Figure 1)
+    # ------------------------------------------------------------------
+
+    def _dispatch_once(self) -> None:
+        state = self.state
+        # Pending interrupts are delivered at this precise boundary by
+        # the interpreter (§3.3).
+        if state.interrupts_enabled and self.machine.pic.has_pending():
+            self.interpreter.step()
+            return
+
+        eip = state.eip
+        if not self._identity_mapped(eip):
+            self._interp_step()
+            return
+        translation = self.tcache.lookup(eip)
+        if translation is None or not translation.valid:
+            translation = self._maybe_translate(eip)
+            if translation is None:
+                self._interp_step()
+                return
+
+        self.stats.dispatches += 1
+        exit_info = self.cpu.run(
+            translation, fuel=self.config.dispatch_fuel_molecules
+        )
+        self.stats.chains_followed += exit_info.chains_followed
+        current = exit_info.translations_entered[-1]
+        current.entries += 1
+
+        if exit_info.kind is ExitKind.EXITED:
+            atom = exit_info.exit_atom
+            if atom is not None and atom.prologue_success:
+                self.smc.on_prologue_success(current)
+                return
+            if atom is not None:
+                self._try_chain(current, atom)
+            return
+        if exit_info.kind is ExitKind.INTERRUPT:
+            self.cpu.rollback()
+            self.stats.rollbacks += 1
+            self.trace.record(Event.INTERRUPT, self.state.eip)
+            return  # delivered at the top of the next iteration
+        if exit_info.kind is ExitKind.FUEL:
+            self.cpu.rollback()
+            self.stats.rollbacks += 1
+            self.stats.fuel_exits += 1
+            self._interp_step()
+            return
+        # FAULT
+        assert exit_info.fault is not None
+        self.cpu.rollback()
+        self.stats.rollbacks += 1
+        self.trace.record(Event.ROLLBACK, self.state.eip,
+                          exit_info.fault.kind.name)
+        self._handle_fault(exit_info.fault, current)
+
+    def _identity_mapped(self, eip: int) -> bool:
+        """Translations are only reused for identity-mapped code."""
+        mmu = self.machine.mmu
+        if not mmu.paging_enabled:
+            return True
+        from repro.isa.exceptions import GuestException
+
+        try:
+            return mmu.translate(eip, is_write=False) == eip
+        except GuestException:
+            return False  # the fetch fault will surface in the interpreter
+
+    def _interp_step(self) -> None:
+        outcome = self.interpreter.step()
+        if outcome.instr is not None or outcome.took_exception:
+            self.stats.interp_instructions += 1
+
+    def _try_chain(self, source: Translation, atom) -> None:
+        if atom.exit_target is not None:
+            target = self.tcache.lookup(atom.exit_target)
+            if target is None or not target.valid:
+                return
+            self.tcache.chain(source, atom, target)
+        else:
+            # Indirect exit: install a monomorphic inline cache guarded
+            # by the target EIP just observed.
+            observed = self.state.eip
+            target = self.tcache.lookup(observed)
+            if target is None or not target.valid or target.prologue_armed:
+                return
+            if atom.chained_translation is target and \
+                    atom.chained_guard == observed:
+                return
+            self.tcache.chain_indirect(source, atom, target, observed)
+            self.stats.indirect_chains += 1
+        self.stats.chain_patches += 1
+        self.trace.record(Event.CHAIN, source.entry_eip,
+                          f"-> {target.entry_eip:#x}")
+
+    # ------------------------------------------------------------------
+    # Translation production
+    # ------------------------------------------------------------------
+
+    def _maybe_translate(self, eip: int) -> Translation | None:
+        self.profile.on_anchor(eip)
+        if self.profile.anchor_counts[eip] < self.config.translation_threshold:
+            return None
+        if eip in self.controller.policy_for(eip).stop_addrs:
+            return None  # pinned to the interpreter (§3.2)
+        reactivated = self.smc.try_group_reactivation(eip)
+        if reactivated is not None:
+            self.stats.group_reactivations += 1
+            self.trace.record(Event.GROUP_REACTIVATE, eip)
+            return reactivated
+        policy = self.controller.policy_for(eip)
+        try:
+            translation = self.translator.translate(eip, policy)
+        except TranslationError:
+            return None
+        if translation is None:
+            return None
+        self.tcache.insert(translation)
+        self.smc.protect_translation(translation)
+        for page in translation.pages():
+            self.smc.recompute_page(page)
+        self.stats.translations_made += 1
+        self.stats.guest_instructions_translated += \
+            translation.guest_instr_count
+        self.trace.record(Event.TRANSLATE, eip,
+                          translation.policy.describe())
+        return translation
+
+    def _retranslate(self, translation: Translation, policy) -> None:
+        """Replace a failing translation with a more conservative one."""
+        entry = translation.entry_eip
+        self.tcache.invalidate_translation(translation)
+        try:
+            replacement = self.translator.translate(entry, policy)
+        except TranslationError:
+            return
+        if replacement is None:
+            return
+        self.tcache.insert(replacement)
+        self.smc.protect_translation(replacement)
+        for page in replacement.pages():
+            self.smc.recompute_page(page)
+        self.stats.translations_made += 1
+        self.stats.retranslations += 1
+        self.trace.record(Event.RETRANSLATE, entry, policy.describe())
+        self.stats.guest_instructions_translated += \
+            replacement.guest_instr_count
+
+    # ------------------------------------------------------------------
+    # Fault recovery (§3): rollback happened; decide and make progress
+    # ------------------------------------------------------------------
+
+    def _handle_fault(self, fault: HostFault,
+                      translation: Translation) -> None:
+        kind = fault.kind
+        self.stats.faults[kind.name] += 1
+        translation.fault_counts[kind] += 1
+        self.trace.record(
+            Event.FAULT,
+            fault.guest_addr if fault.guest_addr is not None
+            else translation.entry_eip,
+            kind.name,
+        )
+
+        if kind is HostFaultKind.PROTECTION:
+            # Inline service already declined: genuine SMC, page-level
+            # protection, or a spurious fault needing adaptation.  The
+            # faulting store then re-executes through the interpreter.
+            self.smc.on_protection_fault(fault)
+            self._interp_step()
+            return
+        if kind is HostFaultKind.SELF_CHECK:
+            self._handle_self_check_fail(translation)
+            return
+        if kind is HostFaultKind.GUEST_FAULT:
+            genuine = self._recovery_interpret(fault, translation)
+            if genuine:
+                self.stats.genuine_guest_faults += 1
+                self.trace.record(Event.GENUINE_FAULT, fault.guest_addr)
+            else:
+                self.stats.speculative_guest_faults += 1
+                self.trace.record(Event.SPECULATIVE_FAULT, fault.guest_addr)
+            policy = self.controller.note_fault(translation, fault, genuine)
+            if policy is not None:
+                self.trace.record(Event.POLICY_ESCALATE,
+                                  translation.entry_eip, policy.describe())
+                self._retranslate(translation, policy)
+            return
+        # ALIAS_VIOLATION / SPEC_MMIO / STOREBUF_OVERFLOW: "rollback and
+        # conservative re-execution in the interpreter" (§3.5), then
+        # maybe retranslate.  Recovery interprets through the region
+        # boundary so translation-entry profiling is not distorted by
+        # mid-region addresses becoming anchors.
+        policy = self.controller.note_fault(translation, fault, None)
+        if policy is not None:
+            self.trace.record(Event.POLICY_ESCALATE, translation.entry_eip,
+                              policy.describe())
+            self._retranslate(translation, policy)
+        self._recovery_interpret(fault, translation)
+
+    def _handle_self_check_fail(self, translation: Translation) -> None:
+        """A self-checking translation's window check failed (§3.6.3).
+
+        Two cases: (a) the translation patched its *own* bytes — the
+        rollback discarded the write, so memory still matches the
+        snapshot; the translation stays valid and the interpreter makes
+        progress through the modifying store precisely.  (b) someone
+        else rewrote the bytes — retire the stale version, reactivate a
+        matching group member (§3.6.5), or leave retranslation to the
+        dispatcher.
+        """
+        from repro.isa.exceptions import GuestException
+
+        try:
+            current = self.smc._read_ranges(translation.code_ranges)
+        except GuestException:
+            current = None
+        if current == translation.code_snapshot:
+            self._interp_step()  # self-writing region: case (a)
+            return
+        replacement = self.smc.on_self_check_fail(translation)
+        if replacement is None:
+            self._interp_step()
+
+    def _recovery_interpret(self, fault: HostFault,
+                            translation: Translation) -> bool:
+        """Re-execute the rolled-back region in the interpreter.
+
+        Returns True when the guest exception recurs at the same
+        instruction (a genuine fault, delivered precisely by the
+        interpreter) and False when the region re-executes cleanly (the
+        fault was an artifact of speculation and is simply ignored,
+        §3.2).
+        """
+        region_addrs = {
+            addr
+            for start, length in translation.code_ranges
+            for addr in range(start, start + length)
+        }
+        cap = self.config.recovery_interp_cap
+        for step in range(cap):
+            if self.state.eip not in region_addrs:
+                return False
+            if step > 0 and self.state.eip == translation.entry_eip:
+                return False  # one pass of a loop region completed
+            outcome = self.interpreter.step()
+            self.stats.recovery_interp_instructions += 1
+            if outcome.took_exception:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _on_tcache_flush(self) -> None:
+        self.protection.clear()
+        self.trace.record(Event.TCACHE_FLUSH)
+
+    def _on_tcache_evict(self, victims) -> None:
+        """Rebuild protection for pages the cold generation occupied."""
+        pages = set()
+        for translation in victims:
+            pages.update(translation.pages())
+        for page in pages:
+            self.smc.recompute_page(page)
+
+
+def run_reference(machine: Machine, entry_eip: int,
+                  max_instructions: int = 50_000_000) -> RunResult:
+    """Run a workload on the pure interpreter (the correctness oracle)."""
+    system = CodeMorphingSystem(
+        machine, CMSConfig().interpreter_only()
+    )
+    return system.run(entry_eip, max_instructions)

@@ -1,0 +1,28 @@
+"""Guest-visible devices.
+
+The paper's challenges are driven by device behaviour: memory-mapped
+I/O must never be reordered (§3.4), DMA writes must invalidate
+translations (§3.6.1), and timer interrupts must be delivered at
+precise x86 boundaries (§3.3).  Each device here exposes port-mapped
+registers (for ``in``/``out``) and, where noted, a memory-mapped window
+on the bus, so workloads can exercise both I/O mechanisms exactly as
+the paper describes.
+"""
+
+from repro.devices.console import Console
+from repro.devices.disk import Disk
+from repro.devices.dma import DMAController
+from repro.devices.framebuffer import Framebuffer
+from repro.devices.pic import InterruptController
+from repro.devices.port_bus import PortBus
+from repro.devices.timer import Timer
+
+__all__ = [
+    "Console",
+    "Disk",
+    "DMAController",
+    "Framebuffer",
+    "InterruptController",
+    "PortBus",
+    "Timer",
+]

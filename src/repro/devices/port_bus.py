@@ -1,0 +1,56 @@
+"""Port-mapped I/O bus for the explicit ``in``/``out`` instructions.
+
+The paper notes that explicit I/O instructions "are easily recognized
+and translated appropriately" — the translator emits unreordered,
+commit-fenced port atoms for them — in contrast to memory-mapped I/O
+which cannot be recognized statically.  The port bus is that easy case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+ReadHandler = Callable[[], int]
+WriteHandler = Callable[[int], None]
+
+MASK32 = 0xFFFFFFFF
+
+
+class PortBus:
+    """Registry of port read/write handlers."""
+
+    def __init__(self) -> None:
+        self._readers: dict[int, ReadHandler] = {}
+        self._writers: dict[int, WriteHandler] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def register(
+        self,
+        port: int,
+        reader: ReadHandler | None = None,
+        writer: WriteHandler | None = None,
+    ) -> None:
+        if reader is not None:
+            if port in self._readers:
+                raise ValueError(f"port {port:#x} reader already registered")
+            self._readers[port] = reader
+        if writer is not None:
+            if port in self._writers:
+                raise ValueError(f"port {port:#x} writer already registered")
+            self._writers[port] = writer
+
+    def read(self, port: int) -> int:
+        """``in`` semantics: unknown ports read as all-ones, like a PC."""
+        self.reads += 1
+        handler = self._readers.get(port)
+        if handler is None:
+            return MASK32
+        return handler() & MASK32
+
+    def write(self, port: int, value: int) -> None:
+        """``out`` semantics: writes to unknown ports are ignored."""
+        self.writes += 1
+        handler = self._writers.get(port)
+        if handler is not None:
+            handler(value & MASK32)

@@ -1,0 +1,58 @@
+"""The native VLIW host processor (the Crusoe analogue).
+
+The host is where the paper's hardware support lives (§3.1):
+
+* **shadowed registers** — every register holding guest state has a
+  working and a shadow copy; ``commit`` copies working to shadow,
+  ``rollback`` restores working from shadow;
+* **gated store buffer** — stores are released to the memory system
+  only at commit, and dropped on rollback;
+* **alias hardware** — a few entries that protect the addresses of
+  speculatively reordered loads and fault any overlapping later store;
+* **speculation-attribute memory atoms** — loads and stores marked as
+  reordered fault when they touch memory-mapped I/O space.
+
+The host executes *molecules* (VLIW instructions of up to four atoms
+across five issue slots), and dynamic molecule count is the performance
+metric, matching the paper's own "accurate dynamic molecule counts but
+not cycle accuracy" simulator.
+"""
+
+from repro.host.alias import AliasHardware
+from repro.host.atoms import AluOp, Atom, AtomKind
+from repro.host.cpu import ExitInfo, ExitKind, HostCPU
+from repro.host.faults import HostFault, HostFaultError, HostFaultKind
+from repro.host.molecule import Molecule, Slot
+from repro.host.registers import (
+    HostBackedGuestState,
+    HostRegisterFile,
+    NUM_HOST_REGS,
+    R_EIP,
+    R_FLAG_BASE,
+    R_IF,
+    TEMP_BASE,
+)
+from repro.host.store_buffer import GatedStoreBuffer
+
+__all__ = [
+    "AliasHardware",
+    "AluOp",
+    "Atom",
+    "AtomKind",
+    "ExitInfo",
+    "ExitKind",
+    "HostCPU",
+    "HostFault",
+    "HostFaultError",
+    "HostFaultKind",
+    "Molecule",
+    "Slot",
+    "HostBackedGuestState",
+    "HostRegisterFile",
+    "NUM_HOST_REGS",
+    "R_EIP",
+    "R_FLAG_BASE",
+    "R_IF",
+    "TEMP_BASE",
+    "GatedStoreBuffer",
+]

@@ -1,0 +1,408 @@
+"""Host CPU: executes translations molecule-by-molecule.
+
+This is the "hardware" half of the co-design.  It enforces, at runtime,
+every speculative assumption the translator made:
+
+* memory atoms marked ``reordered`` fault if they touch I/O space
+  (§3.4), and loads from I/O space additionally require the ``io_ok``
+  attribute (an access the translator fenced with commits) so that a
+  rollback can never replay a device read;
+* alias entries protect the addresses of hoisted loads and stores
+  carrying check masks fault on overlap (§3.5);
+* stores against write-protected code pages fault through the
+  protection map, consulting the fine-grain hardware cache (§3.6.1);
+* stores are gated in the store buffer until a commit atom releases
+  them (§3.1);
+* a pending interrupt observed at a molecule boundary aborts the
+  translation so CMS can roll back to the last consistent state (§3.3).
+
+Faults do *not* modify committed state: the CPU raises them to CMS,
+which performs the rollback and recovery procedure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.host.alias import AliasHardware
+from repro.host.atoms import AluOp, Atom, AtomKind
+from repro.host.faults import HostFault, HostFaultError, HostFaultKind
+from repro.host.registers import R_EIP, R_IF, HostRegisterFile
+from repro.host.store_buffer import GatedStoreBuffer, StoreBufferOverflow
+from repro.isa.exceptions import GuestException
+from repro.machine import Machine
+
+MASK32 = 0xFFFFFFFF
+SIGN32 = 0x80000000
+
+
+class ExitKind(enum.Enum):
+    EXITED = enum.auto()  # translation left through an EXIT atom
+    INTERRUPT = enum.auto()  # pending interrupt at a molecule boundary
+    FAULT = enum.auto()  # a host fault fired (CMS must roll back)
+    FUEL = enum.auto()  # molecule budget exhausted mid-translation
+
+
+@dataclass
+class ExitInfo:
+    """Result of one ``HostCPU.run`` invocation."""
+
+    kind: ExitKind
+    next_eip: int = 0
+    fault: HostFault | None = None
+    exit_atom: Atom | None = None
+    molecules: int = 0
+    chains_followed: int = 0
+    translations_entered: list = field(default_factory=list)
+
+
+class HostCPU:
+    """The native VLIW executor with commit/rollback support."""
+
+    def __init__(self, machine: Machine, protection,
+                 store_buffer_capacity: int = 64,
+                 alias_entries: int = 8) -> None:
+        self.machine = machine
+        self.protection = protection
+        # CMS fault handler invoked *inline* for store protection faults
+        # (classic fault semantics: the handler may fix the condition —
+        # fill the fine-grain cache, drop protection and arm a
+        # revalidation prologue — and return True to retry the store in
+        # place).  Returning False unwinds the translation for the full
+        # rollback + recovery path.
+        self.protection_service = None
+        self.regs = HostRegisterFile()
+        self.store_buffer = GatedStoreBuffer(store_buffer_capacity)
+        self.alias = AliasHardware(alias_entries)
+        self.molecules_executed = 0
+        self.atoms_executed = 0
+        self.commits = 0
+        self.rollbacks = 0
+        self.interrupt_exits = 0
+        # True between an irrevocable device interaction (port I/O or an
+        # io_ok MMIO access) and the commit that fences it; interrupt
+        # exits are suppressed in that window so a rollback can never
+        # replay the device operation.
+        self._io_uncommitted = False
+
+    # ------------------------------------------------------------------
+    # Commit / rollback (§3.1)
+    # ------------------------------------------------------------------
+
+    def commit(self, instr_count: int = 0) -> None:
+        self.regs.commit()
+        self.store_buffer.drain(self.machine.bus)
+        self.alias.clear()
+        self._io_uncommitted = False
+        self.commits += 1
+        if instr_count:
+            self.machine.tick(instr_count)
+
+    def rollback(self) -> None:
+        self.regs.rollback()
+        self.store_buffer.drop()
+        self.alias.clear()
+        self._io_uncommitted = False
+        self.rollbacks += 1
+
+    # ------------------------------------------------------------------
+    # Top-level execution
+    # ------------------------------------------------------------------
+
+    def run(self, translation, fuel: int = 1_000_000) -> ExitInfo:
+        """Execute ``translation`` until exit, fault, or interrupt.
+
+        Follows chained exits directly into successor translations
+        without returning to the dispatcher (the paper's "chaining").
+        On FAULT and INTERRUPT outcomes the caller must invoke
+        ``rollback`` before touching guest state.
+        """
+        info = ExitInfo(kind=ExitKind.EXITED)
+        current = translation
+        pc = current.labels[current.entry_label]
+        molecules = current.molecules
+        info.translations_entered.append(current)
+        start_molecules = self.molecules_executed
+        pending_ok = self._interrupt_pending
+
+        while True:
+            if pending_ok():
+                info.kind = ExitKind.INTERRUPT
+                self.interrupt_exits += 1
+                break
+            if self.molecules_executed - start_molecules >= fuel:
+                info.kind = ExitKind.FUEL
+                break
+            molecule = molecules[pc]
+            self.molecules_executed += 1
+            current.executions_molecules += 1
+            next_pc = pc + 1
+            exit_atom: Atom | None = None
+            try:
+                for atom in molecule.atoms:
+                    self.atoms_executed += 1
+                    kind = atom.kind
+                    if kind is AtomKind.BR:
+                        next_pc = current.labels[atom.label]
+                    elif kind is AtomKind.BRZ:
+                        if self.regs.working[atom.rs1] == 0:
+                            next_pc = current.labels[atom.label]
+                    elif kind is AtomKind.BRNZ:
+                        if self.regs.working[atom.rs1] != 0:
+                            next_pc = current.labels[atom.label]
+                    elif kind is AtomKind.EXIT:
+                        exit_atom = atom
+                    else:
+                        self._execute_atom(atom)
+            except HostFaultError as error:
+                info.kind = ExitKind.FAULT
+                info.fault = error.fault
+                break
+            if exit_atom is not None:
+                chained = exit_atom.chained_translation
+                if chained is not None and not pending_ok():
+                    # Direct exits chain unconditionally; indirect exits
+                    # only through their inline-cache guard (§2's
+                    # chaining, extended to computed targets).
+                    guard_ok = (
+                        exit_atom.exit_target is not None
+                        or exit_atom.chained_guard
+                        == self.regs.shadow[R_EIP]
+                    )
+                    if guard_ok:
+                        current = chained
+                        pc = current.labels[current.entry_label]
+                        molecules = current.molecules
+                        info.chains_followed += 1
+                        info.translations_entered.append(current)
+                        current.entries += 1
+                        continue
+                info.kind = ExitKind.EXITED
+                info.exit_atom = exit_atom
+                break
+            pc = next_pc
+
+        info.next_eip = self.regs.shadow[R_EIP]
+        info.molecules = self.molecules_executed - start_molecules
+        return info
+
+    def _interrupt_pending(self) -> bool:
+        if self._io_uncommitted:
+            return False
+        return bool(self.regs.shadow[R_IF]) and \
+            self.machine.pic.has_pending()
+
+    # ------------------------------------------------------------------
+    # Atom execution
+    # ------------------------------------------------------------------
+
+    def _execute_atom(self, atom: Atom) -> None:
+        kind = atom.kind
+        regs = self.regs.working
+        if kind is AtomKind.MOVI:
+            regs[atom.rd] = atom.imm & MASK32
+        elif kind is AtomKind.MOV:
+            regs[atom.rd] = regs[atom.rs1]
+        elif kind is AtomKind.ALU:
+            regs[atom.rd] = _alu(atom.aluop, regs[atom.rs1], regs[atom.rs2])
+        elif kind is AtomKind.ALUI:
+            regs[atom.rd] = _alu(atom.aluop, regs[atom.rs1], atom.imm & MASK32)
+        elif kind is AtomKind.SEL:
+            regs[atom.rd] = regs[atom.rs2] if regs[atom.rs1] else regs[atom.rs3]
+        elif kind is AtomKind.LD:
+            self._load(atom)
+        elif kind is AtomKind.ST:
+            self._store(atom)
+        elif kind is AtomKind.COMMIT:
+            self.commit(atom.instr_count)
+        elif kind in (AtomKind.DIVU, AtomKind.DIVS):
+            self._divide(atom)
+        elif kind is AtomKind.PORT_IN:
+            regs[atom.rd] = self.machine.ports.read(atom.imm)
+            self._io_uncommitted = True
+        elif kind is AtomKind.PORT_OUT:
+            self.machine.ports.write(atom.imm, regs[atom.rs1])
+            self._io_uncommitted = True
+        elif kind is AtomKind.FAIL:
+            raise HostFaultError(
+                HostFault(HostFaultKind.SELF_CHECK, guest_addr=atom.guest_addr,
+                          detail=atom.fail_reason)
+            )
+        elif kind is AtomKind.NOPA:
+            pass
+        else:  # pragma: no cover - BR/EXIT handled by the run loop
+            raise AssertionError(f"unexpected atom in _execute_atom: {atom}")
+
+    def _divide(self, atom: Atom) -> None:
+        regs = self.regs.working
+        divisor = regs[atom.rs2]
+        if atom.kind is AtomKind.DIVU:
+            dividend = (regs[atom.rs3] << 32) | regs[atom.rs1]
+            if divisor == 0:
+                self._guest_fault(atom)
+            quotient, remainder = divmod(dividend, divisor)
+            if quotient > MASK32:
+                self._guest_fault(atom)
+        else:
+            dividend = (regs[atom.rs3] << 32) | regs[atom.rs1]
+            dividend = dividend - (1 << 64) if dividend & (1 << 63) else dividend
+            divisor = divisor - (1 << 32) if divisor & SIGN32 else divisor
+            if divisor == 0:
+                self._guest_fault(atom)
+            quotient = int(dividend / divisor)
+            remainder = dividend - quotient * divisor
+            if not -(1 << 31) <= quotient <= (1 << 31) - 1:
+                self._guest_fault(atom)
+        regs[atom.rd] = quotient & MASK32
+        regs[atom.rd2] = remainder & MASK32
+
+    def _guest_fault(self, atom: Atom,
+                     exc: GuestException | None = None) -> None:
+        from repro.isa.exceptions import divide_error
+
+        raise HostFaultError(
+            HostFault(
+                HostFaultKind.GUEST_FAULT,
+                guest_addr=atom.guest_addr,
+                guest_exception=exc if exc is not None else divide_error(
+                    atom.guest_addr),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Memory atoms: where speculation meets hardware checks
+    # ------------------------------------------------------------------
+
+    def _load(self, atom: Atom) -> None:
+        regs = self.regs.working
+        vaddr = (regs[atom.rs1] + atom.disp) & MASK32
+        try:
+            paddr = self.machine.vtranslate(vaddr, atom.size, is_write=False)
+        except GuestException as exc:
+            self._guest_fault(atom, exc)
+            raise AssertionError  # unreachable
+        if self.machine.bus.is_io(paddr, atom.size):
+            if atom.reordered or not atom.io_ok:
+                raise HostFaultError(
+                    HostFault(HostFaultKind.SPEC_MMIO,
+                              guest_addr=atom.guest_addr, paddr=paddr)
+                )
+            regs[atom.rd] = self.machine.bus.read(paddr, atom.size)
+            self._io_uncommitted = True
+            return
+        if atom.alias_entry is not None:
+            self.alias.record(atom.alias_entry, paddr, atom.size)
+        if atom.alias_check:
+            violated = self.alias.check(atom.alias_check, paddr, atom.size)
+            if violated is not None:
+                raise HostFaultError(
+                    HostFault(HostFaultKind.ALIAS_VIOLATION,
+                              guest_addr=atom.guest_addr, paddr=paddr,
+                              detail=f"entry {violated}")
+                )
+        try:
+            value = self.machine.bus.read(paddr, atom.size)
+        except GuestException as exc:
+            self._guest_fault(atom, exc)
+            raise AssertionError  # unreachable
+        regs[atom.rd] = self.store_buffer.forward(paddr, atom.size, value)
+
+    def _store(self, atom: Atom) -> None:
+        regs = self.regs.working
+        vaddr = (regs[atom.rs1] + atom.disp) & MASK32
+        try:
+            paddr = self.machine.vtranslate(vaddr, atom.size, is_write=True)
+        except GuestException as exc:
+            self._guest_fault(atom, exc)
+            raise AssertionError  # unreachable
+        is_io = self.machine.bus.is_io(paddr, atom.size)
+        if is_io:
+            if atom.reordered or not atom.io_ok:
+                raise HostFaultError(
+                    HostFault(HostFaultKind.SPEC_MMIO,
+                              guest_addr=atom.guest_addr, paddr=paddr)
+                )
+        else:
+            # Up to three check/service rounds: a fine-grain miss fill
+            # may be followed by a code-granule fault on the refilled
+            # entry whose service (e.g. arming a revalidation prologue)
+            # also succeeds; the store then passes the third check.
+            for _ in range(3):
+                check = self.protection.check_store(paddr, atom.size)
+                if not check.faults:
+                    break
+                fault = HostFault(HostFaultKind.PROTECTION,
+                                  guest_addr=atom.guest_addr, paddr=paddr,
+                                  store_class=check.store_class,
+                                  page=check.page, access_size=atom.size)
+                if self.protection_service is None or \
+                        not self.protection_service(fault):
+                    raise HostFaultError(fault)
+            else:
+                raise HostFaultError(fault)
+            if atom.alias_check:
+                violated = self.alias.check(atom.alias_check, paddr, atom.size)
+                if violated is not None:
+                    raise HostFaultError(
+                        HostFault(HostFaultKind.ALIAS_VIOLATION,
+                                  guest_addr=atom.guest_addr, paddr=paddr,
+                                  detail=f"entry {violated}")
+                    )
+            if atom.alias_entry is not None:
+                self.alias.record(atom.alias_entry, paddr, atom.size)
+        try:
+            self.store_buffer.write(paddr, regs[atom.rs2], atom.size, is_io)
+        except StoreBufferOverflow:
+            raise HostFaultError(
+                HostFault(HostFaultKind.STOREBUF_OVERFLOW,
+                          guest_addr=atom.guest_addr, paddr=paddr)
+            ) from None
+
+
+def _alu(op: AluOp, a: int, b: int) -> int:
+    if op is AluOp.ADD:
+        return (a + b) & MASK32
+    if op is AluOp.SUB:
+        return (a - b) & MASK32
+    if op is AluOp.AND:
+        return a & b
+    if op is AluOp.OR:
+        return a | b
+    if op is AluOp.XOR:
+        return a ^ b
+    if op is AluOp.SHL:
+        return (a << (b & 31)) & MASK32
+    if op is AluOp.SHR:
+        return (a & MASK32) >> (b & 31)
+    if op is AluOp.SAR:
+        signed = a - (1 << 32) if a & SIGN32 else a
+        return (signed >> (b & 31)) & MASK32
+    if op is AluOp.MUL:
+        return (a * b) & MASK32
+    if op is AluOp.UMULH:
+        return ((a * b) >> 32) & MASK32
+    if op is AluOp.SMULH:
+        sa = a - (1 << 32) if a & SIGN32 else a
+        sb = b - (1 << 32) if b & SIGN32 else b
+        return ((sa * sb) >> 32) & MASK32
+    if op is AluOp.PARITY:
+        from repro.isa.flags import parity
+        return parity(a)
+    if op is AluOp.CMPEQ:
+        return 1 if a == b else 0
+    if op is AluOp.CMPNE:
+        return 1 if a != b else 0
+    if op is AluOp.CMPLTU:
+        return 1 if (a & MASK32) < (b & MASK32) else 0
+    if op is AluOp.CMPLTS:
+        sa = a - (1 << 32) if a & SIGN32 else a
+        sb = b - (1 << 32) if b & SIGN32 else b
+        return 1 if sa < sb else 0
+    if op is AluOp.CMPLEU:
+        return 1 if (a & MASK32) <= (b & MASK32) else 0
+    if op is AluOp.CMPLES:
+        sa = a - (1 << 32) if a & SIGN32 else a
+        sb = b - (1 << 32) if b & SIGN32 else b
+        return 1 if sa <= sb else 0
+    raise AssertionError(f"unhandled ALU op {op}")

@@ -1,0 +1,60 @@
+"""Host fault model.
+
+Host faults are the "native exceptions that transfer control to
+handlers for the various modes of failure" (paper §3).  Each fault
+records which guest instruction's atoms raised it, so the adaptive
+retranslation controller can attribute recurring failures precisely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.exceptions import GuestException
+from repro.memory.protection import StoreClass
+
+
+class HostFaultKind(enum.Enum):
+    """Why a translation aborted."""
+
+    ALIAS_VIOLATION = enum.auto()  # reordered memory refs overlapped (§3.5)
+    SPEC_MMIO = enum.auto()  # speculative memory atom touched I/O (§3.4)
+    PROTECTION = enum.auto()  # store hit a write-protected code page (§3.6)
+    GUEST_FAULT = enum.auto()  # potentially-genuine guest exception (§3.2)
+    SELF_CHECK = enum.auto()  # self-checking translation found SMC (§3.6.3)
+    STOREBUF_OVERFLOW = enum.auto()  # too many uncommitted stores
+
+
+@dataclass
+class HostFault:
+    """Details of one host fault."""
+
+    kind: HostFaultKind
+    guest_addr: int | None = None  # guest instruction the atom implements
+    paddr: int | None = None  # faulting physical address, if any
+    guest_exception: GuestException | None = None
+    store_class: StoreClass | None = None
+    page: int | None = None
+    access_size: int = 4
+    detail: str = ""
+
+    def describe(self) -> str:
+        parts = [self.kind.name]
+        if self.guest_addr is not None:
+            parts.append(f"guest={self.guest_addr:#x}")
+        if self.paddr is not None:
+            parts.append(f"paddr={self.paddr:#x}")
+        if self.store_class is not None:
+            parts.append(self.store_class.name)
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+class HostFaultError(Exception):
+    """Raised by the host CPU to unwind out of a faulting translation."""
+
+    def __init__(self, fault: HostFault) -> None:
+        self.fault = fault
+        super().__init__(fault.describe())

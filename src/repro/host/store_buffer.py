@@ -1,0 +1,95 @@
+"""The gated store buffer (paper §3.1, US patent 6,011,908).
+
+"Store data are held in a gated store buffer, from which they are only
+released to the memory system at the time of a commit.  On a rollback,
+stores not yet committed can simply be dropped from the store buffer."
+
+Entries are keyed by *physical* address (translation happens at store
+execution, as in a TLB).  Loads executed inside the same translation
+window must see buffered stores, so the buffer supports byte-accurate
+store-to-load forwarding via an overlay map.  MMIO stores are buffered
+but never forwarded — device reads inside the same uncommitted window
+are fenced off by construction (``io_ok`` accesses are commit-fenced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferedStore:
+    paddr: int
+    size: int
+    value: int
+    is_io: bool
+
+
+class StoreBufferOverflow(Exception):
+    """The translation issued more uncommitted stores than the buffer holds."""
+
+
+class GatedStoreBuffer:
+    """Ordered, byte-forwarding, commit-gated store queue."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._entries: list[BufferedStore] = []
+        self._overlay: dict[int, int] = {}  # paddr -> byte, RAM stores only
+        self.total_buffered = 0
+        self.total_drained = 0
+        self.total_dropped = 0
+        self.forwarded_loads = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def write(self, paddr: int, value: int, size: int, is_io: bool) -> None:
+        if len(self._entries) >= self.capacity:
+            raise StoreBufferOverflow()
+        self._entries.append(BufferedStore(paddr, size, value, is_io))
+        self.total_buffered += 1
+        if not is_io:
+            for i in range(size):
+                self._overlay[paddr + i] = (value >> (8 * i)) & 0xFF
+
+    def forward(self, paddr: int, size: int, memory_value: int) -> int:
+        """Merge buffered bytes over ``memory_value`` for a load."""
+        if not self._overlay:
+            return memory_value
+        merged = memory_value
+        hit = False
+        for i in range(size):
+            byte = self._overlay.get(paddr + i)
+            if byte is not None:
+                merged = (merged & ~(0xFF << (8 * i))) | (byte << (8 * i))
+                hit = True
+        if hit:
+            self.forwarded_loads += 1
+        return merged
+
+    def has_overlap(self, paddr: int, size: int) -> bool:
+        """True if any buffered byte overlaps [paddr, paddr+size)."""
+        return any(paddr + i in self._overlay for i in range(size))
+
+    def drain(self, bus) -> int:
+        """Release all buffered stores to the memory system, in order."""
+        count = len(self._entries)
+        for entry in self._entries:
+            bus.write(entry.paddr, entry.value, entry.size)
+        self._entries.clear()
+        self._overlay.clear()
+        self.total_drained += count
+        return count
+
+    def drop(self) -> int:
+        """Rollback: discard everything buffered since the last commit."""
+        count = len(self._entries)
+        self._entries.clear()
+        self._overlay.clear()
+        self.total_dropped += count
+        return count

@@ -1,0 +1,16 @@
+"""The t86 interpreter.
+
+CMS begins executing everything here: the interpreter "decodes and
+executes x86 instructions sequentially, with careful attention to memory
+access ordering and precise reproduction of faults, while collecting
+data on execution frequency, branch directions, and memory-mapped I/O
+operations" (paper §2).  It is also the recovery engine: after any
+rollback, CMS re-executes the faulted region one instruction at a time
+through this interpreter, which "implements precise x86 semantics and
+guarantees correct machine state at every instruction boundary" (§3).
+"""
+
+from repro.interp.interpreter import Halted, Interpreter, StepOutcome
+from repro.interp.profile import ExecutionProfile
+
+__all__ = ["Halted", "Interpreter", "StepOutcome", "ExecutionProfile"]

@@ -1,0 +1,89 @@
+"""The t86 guest instruction set architecture.
+
+t86 is the x86-subset target ISA of this reproduction.  Like x86 it is a
+32-bit, little-endian, variable-length, byte-encoded CISC architecture
+with eight general-purpose registers, a flags register, precise
+exceptions, a stack, port-mapped I/O instructions, and software
+interrupts.  Code lives as bytes in guest memory, so self-modifying code,
+mixed code/data pages, and immediate-field patching are physically real,
+which is what the Transmeta paper's challenges require.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.exceptions import (
+    GuestException,
+    Vector,
+    breakpoint_fault,
+    divide_error,
+    general_protection,
+    invalid_opcode,
+    page_fault,
+)
+from repro.isa.flags import (
+    CF,
+    FLAG_BITS,
+    FLAG_NAMES,
+    IF,
+    OF,
+    PF,
+    SF,
+    ZF,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, Op, OpInfo, OPCODE_TABLE, op_info
+from repro.isa.registers import (
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDI,
+    EDX,
+    ESI,
+    ESP,
+    NUM_REGS,
+    REG_NAMES,
+    reg_name,
+    reg_number,
+)
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "decode",
+    "encode",
+    "GuestException",
+    "Vector",
+    "breakpoint_fault",
+    "divide_error",
+    "general_protection",
+    "invalid_opcode",
+    "page_fault",
+    "CF",
+    "PF",
+    "ZF",
+    "SF",
+    "OF",
+    "IF",
+    "FLAG_BITS",
+    "FLAG_NAMES",
+    "Instruction",
+    "Fmt",
+    "Op",
+    "OpInfo",
+    "OPCODE_TABLE",
+    "op_info",
+    "EAX",
+    "ECX",
+    "EDX",
+    "EBX",
+    "ESP",
+    "EBP",
+    "ESI",
+    "EDI",
+    "NUM_REGS",
+    "REG_NAMES",
+    "reg_name",
+    "reg_number",
+]

@@ -1,0 +1,746 @@
+"""A two-pass text assembler for the t86 guest ISA.
+
+All workloads in this reproduction are written in t86 assembly and
+assembled to guest memory images, so that code genuinely lives as bytes
+in guest RAM (a precondition for studying self-modifying code).
+
+Syntax overview::
+
+    ; line comment (also '#')
+    .org 0x1000           ; set location counter
+    .entry start          ; program entry point (default: label 'start')
+    CONST = 40            ; symbol definition (also .equ CONST, 40)
+
+    start:
+        mov eax, CONST    ; register, immediate-expression operands
+        load ebx, [eax+8] ; memory operands: [base], [base+disp],
+        loadx ecx, [eax+ebx*4+table]   ; [base+index*scale+disp]
+        store [eax], ebx
+        storei [eax+4], 0x1234
+        shl eax, 3
+        shl eax, cl
+        jne start
+        out 0xE9
+        hlt
+
+    table:
+        .word 1, 2, 3     ; 32-bit words
+        .byte 0x41, "AB"  ; bytes and byte strings
+        .ascii "hello"
+        .space 64         ; zero fill
+        .align 4096
+
+Expressions support ``+``/``-`` over integers (decimal, 0x hex, 0b
+binary, character literals) and symbols, including forward references.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa import registers
+from repro.isa.encoder import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, op_info
+from repro.isa.registers import is_reg_name, reg_number
+
+MASK32 = 0xFFFFFFFF
+
+
+class AssemblyError(Exception):
+    """A syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+@dataclass
+class Segment:
+    """A contiguous run of assembled bytes at a fixed guest address."""
+
+    base: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+@dataclass
+class Program:
+    """The result of assembling a source file."""
+
+    segments: list[Segment] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def flatten(self, size: int | None = None) -> bytearray:
+        """Return a flat image covering all segments from address 0."""
+        top = max((seg.end for seg in self.segments), default=0)
+        image = bytearray(size if size is not None else top)
+        for seg in self.segments:
+            if seg.end > len(image):
+                raise AssemblyError(
+                    f"segment at {seg.base:#x} exceeds image size {len(image):#x}"
+                )
+            image[seg.base : seg.end] = seg.data
+        return image
+
+
+# --------------------------------------------------------------------------
+# Tokenizing helpers
+# --------------------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMDEF_RE = re.compile(r"^([A-Za-z_][\w.$]*)\s*=\s*(.+)$")
+_MEM_RE = re.compile(r"^\[(.+)\]$")
+_NUMBER_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)$")
+
+
+def _strip_comment(line: str) -> str:
+    # Respect quotes so ';' inside string literals survives.
+    out = []
+    in_string = False
+    for ch in line:
+        if ch == '"':
+            in_string = not in_string
+        if ch in ";#" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas, respecting [] and quotes."""
+    operands: list[str] = []
+    depth = 0
+    in_string = False
+    current = []
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+        if ch == "[" and not in_string:
+            depth += 1
+        elif ch == "]" and not in_string:
+            depth -= 1
+        if ch == "," and depth == 0 and not in_string:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class _Expr:
+    """A +/- expression over numbers and symbols, resolved in pass 2."""
+
+    def __init__(self, text: str, line: int) -> None:
+        self.text = text.strip()
+        self.line = line
+        if not self.text:
+            raise AssemblyError("empty expression", line)
+
+    def evaluate(self, symbols: dict[str, int]) -> int:
+        total = 0
+        sign = 1
+        token = ""
+        terms: list[tuple[int, str]] = []
+
+        def flush() -> None:
+            nonlocal token, sign
+            if token:
+                terms.append((sign, token.strip()))
+                token = ""
+            sign = 1
+
+        i = 0
+        text = self.text
+        while i < len(text):
+            ch = text[i]
+            if ch in "+-" and token.strip():
+                flush()
+                sign = 1 if ch == "+" else -1
+            elif ch in "+-" and not token.strip():
+                sign = sign if ch == "+" else -sign
+            else:
+                token += ch
+            i += 1
+        flush()
+        if not terms:
+            raise AssemblyError(f"bad expression: {self.text!r}", self.line)
+        for term_sign, term in terms:
+            total += term_sign * self._term(term, symbols)
+        return total & MASK32
+
+    def _term(self, term: str, symbols: dict[str, int]) -> int:
+        if "*" in term:
+            product = 1
+            for factor in term.split("*"):
+                product *= self._term(factor.strip(), symbols)
+            return product
+        if _NUMBER_RE.match(term):
+            return int(term, 0)
+        if len(term) == 3 and term[0] == "'" and term[2] == "'":
+            return ord(term[1])
+        if term in symbols:
+            return symbols[term]
+        raise AssemblyError(f"undefined symbol {term!r}", self.line)
+
+
+# --------------------------------------------------------------------------
+# Parsed items
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _MemOperand:
+    base: int
+    index: int | None
+    scale_log2: int
+    disp: _Expr | None
+
+
+@dataclass
+class _Item:
+    """One assembled unit: an instruction or a data directive payload."""
+
+    line: int
+    addr: int = 0
+    size: int = 0
+
+    def emit(self, symbols: dict[str, int]) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class _InstrItem(_Item):
+    op: Op = Op.NOP
+    r1: int = 0
+    r2: int = 0
+    index: int = 0
+    scale_log2: int = 0
+    disp_expr: _Expr | None = None
+    imm_expr: _Expr | None = None
+    rel_expr: _Expr | None = None
+
+    def emit(self, symbols: dict[str, int]) -> bytes:
+        disp = 0
+        imm = 0
+        if self.disp_expr is not None:
+            disp = _signed32(self.disp_expr.evaluate(symbols))
+        if self.imm_expr is not None:
+            imm = self.imm_expr.evaluate(symbols)
+        if self.rel_expr is not None:
+            target = self.rel_expr.evaluate(symbols)
+            disp = _signed32((target - (self.addr + self.size)) & MASK32)
+        instr = Instruction(
+            self.op,
+            r1=self.r1,
+            r2=self.r2,
+            index=self.index,
+            scale_log2=self.scale_log2,
+            disp=disp,
+            imm=imm,
+            addr=self.addr,
+        )
+        return encode(instr)
+
+
+@dataclass
+class _DataItem(_Item):
+    unit: int = 1  # bytes per element
+    exprs: list[_Expr | bytes] = field(default_factory=list)
+
+    def emit(self, symbols: dict[str, int]) -> bytes:
+        out = bytearray()
+        for expr in self.exprs:
+            if isinstance(expr, bytes):
+                out += expr
+            else:
+                value = expr.evaluate(symbols)
+                out += value.to_bytes(self.unit, "little", signed=False)
+        return bytes(out)
+
+
+@dataclass
+class _FillItem(_Item):
+    fill: int = 0
+
+    def emit(self, symbols: dict[str, int]) -> bytes:
+        return bytes([self.fill & 0xFF]) * self.size
+
+
+def _signed32(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+# --------------------------------------------------------------------------
+# The assembler
+# --------------------------------------------------------------------------
+
+_ALU_RR_RI = {
+    "add": (Op.ADD_RR, Op.ADD_RI),
+    "sub": (Op.SUB_RR, Op.SUB_RI),
+    "and": (Op.AND_RR, Op.AND_RI),
+    "or": (Op.OR_RR, Op.OR_RI),
+    "xor": (Op.XOR_RR, Op.XOR_RI),
+    "cmp": (Op.CMP_RR, Op.CMP_RI),
+    "test": (Op.TEST_RR, Op.TEST_RI),
+    "adc": (Op.ADC_RR, Op.ADC_RI),
+    "sbb": (Op.SBB_RR, Op.SBB_RI),
+    "imul": (Op.IMUL_RR, Op.IMUL_RI),
+}
+
+_UNARY_R = {
+    "not": Op.NOT_R,
+    "neg": Op.NEG_R,
+    "inc": Op.INC_R,
+    "dec": Op.DEC_R,
+    "mul": Op.MUL_R,
+    "div": Op.DIV_R,
+    "idiv": Op.IDIV_R,
+    "setpt": Op.SETPT,
+    "pop": Op.POP_R,
+}
+
+_SHIFTS = {
+    "shl": (Op.SHL_RI8, Op.SHL_RCL),
+    "shr": (Op.SHR_RI8, Op.SHR_RCL),
+    "sar": (Op.SAR_RI8, Op.SAR_RCL),
+    "rol": (Op.ROL_RI8, None),
+    "ror": (Op.ROR_RI8, None),
+}
+
+_NO_OPERAND = {
+    "nop": Op.NOP,
+    "hlt": Op.HLT,
+    "sti": Op.STI,
+    "cli": Op.CLI,
+    "iret": Op.IRET,
+    "ret": Op.RET,
+    "pushf": Op.PUSHF,
+    "popf": Op.POPF,
+    "pgon": Op.PGON,
+    "pgoff": Op.PGOFF,
+}
+
+_CC_SUFFIXES = ("o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns",
+                "p", "np", "l", "ge", "le", "g")
+_SETCC = {f"set{cc}": Op(Op.SETO + i)
+          for i, cc in enumerate(_CC_SUFFIXES)}
+_SETCC["setz"] = Op.SETE
+_SETCC["setnz"] = Op.SETNE
+_SETCC["setc"] = Op.SETB
+_SETCC["setnc"] = Op.SETAE
+_CMOVCC = {f"cmov{cc}": Op(Op.CMOVO + i)
+           for i, cc in enumerate(_CC_SUFFIXES)}
+_CMOVCC["cmovz"] = Op.CMOVE
+_CMOVCC["cmovnz"] = Op.CMOVNE
+
+_JCC = {
+    "jo": Op.JO, "jno": Op.JNO, "jb": Op.JB, "jc": Op.JB, "jae": Op.JAE,
+    "jnc": Op.JAE, "je": Op.JE, "jz": Op.JE, "jne": Op.JNE, "jnz": Op.JNE,
+    "jbe": Op.JBE, "ja": Op.JA, "js": Op.JS, "jns": Op.JNS, "jp": Op.JP,
+    "jnp": Op.JNP, "jl": Op.JL, "jge": Op.JGE, "jle": Op.JLE, "jg": Op.JG,
+}
+
+
+class _Assembler:
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._items: list[_Item] = []
+        self._symbols: dict[str, int] = {}
+        self._symbol_exprs: list[tuple[str, _Expr]] = []
+        self._entry_expr: _Expr | None = None
+        self._origin = 0
+        self._location = 0
+        self._segments: list[Segment] = []
+        self._segment_items: list[list[_Item]] = []
+        self._current_items: list[_Item] = []
+
+    # -- pass 1 ------------------------------------------------------------
+
+    def run(self) -> Program:
+        self._start_segment(0)
+        for line_no, raw in enumerate(self._source.splitlines(), start=1):
+            self._parse_line(raw, line_no)
+        self._finish_segment()
+        for name, expr in self._symbol_exprs:
+            self._symbols[name] = expr.evaluate(self._symbols)
+        program = Program(symbols=dict(self._symbols))
+        for segment, items in zip(self._segments, self._segment_items):
+            for item in items:
+                data = item.emit(self._symbols)
+                if len(data) != item.size:
+                    raise AssemblyError(
+                        f"size mismatch emitting item ({len(data)} != {item.size})",
+                        item.line,
+                    )
+                offset = item.addr - segment.base
+                segment.data[offset : offset + item.size] = data
+            program.segments.append(segment)
+        if self._entry_expr is not None:
+            program.entry = self._entry_expr.evaluate(self._symbols)
+        elif "start" in self._symbols:
+            program.entry = self._symbols["start"]
+        elif program.segments:
+            program.entry = program.segments[0].base
+        return program
+
+    def _start_segment(self, base: int) -> None:
+        self._origin = base
+        self._location = base
+        self._current_items = []
+
+    def _finish_segment(self) -> None:
+        size = self._location - self._origin
+        if size > 0 or self._current_items:
+            self._segments.append(Segment(self._origin, bytearray(size)))
+            self._segment_items.append(self._current_items)
+        self._current_items = []
+
+    def _append(self, item: _Item) -> None:
+        item.addr = self._location
+        self._location += item.size
+        self._current_items.append(item)
+
+    def _parse_line(self, raw: str, line: int) -> None:
+        text = _strip_comment(raw)
+        while True:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            name = match.group(1)
+            if name in self._symbols:
+                raise AssemblyError(f"duplicate label {name!r}", line)
+            self._symbols[name] = self._location
+            text = text[match.end():].strip()
+        if not text:
+            return
+        symdef = _SYMDEF_RE.match(text)
+        if symdef and not text.split()[0].lower() in _ALL_MNEMONICS:
+            self._symbol_exprs.append(
+                (symdef.group(1), _Expr(symdef.group(2), line))
+            )
+            return
+        if text.startswith("."):
+            self._parse_directive(text, line)
+            return
+        self._parse_instruction(text, line)
+
+    # -- directives ----------------------------------------------------------
+
+    def _parse_directive(self, text: str, line: int) -> None:
+        parts = text.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".org":
+            target = _Expr(rest, line).evaluate(self._symbols)
+            self._finish_segment()
+            self._start_segment(target)
+        elif name == ".entry":
+            self._entry_expr = _Expr(rest, line)
+        elif name == ".equ":
+            operands = _split_operands(rest)
+            if len(operands) != 2:
+                raise AssemblyError(".equ needs name, value", line)
+            self._symbol_exprs.append((operands[0], _Expr(operands[1], line)))
+        elif name in (".word", ".dd"):
+            self._data_directive(rest, 4, line)
+        elif name in (".half", ".dw"):
+            self._data_directive(rest, 2, line)
+        elif name in (".byte", ".db"):
+            self._data_directive(rest, 1, line)
+        elif name in (".ascii", ".asciz"):
+            payload = self._parse_string(rest, line)
+            if name == ".asciz":
+                payload += b"\x00"
+            item = _DataItem(line=line, size=len(payload), exprs=[payload])
+            self._append(item)
+        elif name == ".space":
+            operands = _split_operands(rest)
+            size = _Expr(operands[0], line).evaluate(self._symbols)
+            fill = (
+                _Expr(operands[1], line).evaluate(self._symbols)
+                if len(operands) > 1
+                else 0
+            )
+            self._append(_FillItem(line=line, size=size, fill=fill))
+        elif name == ".align":
+            alignment = _Expr(rest, line).evaluate(self._symbols)
+            if alignment <= 0 or alignment & (alignment - 1):
+                raise AssemblyError(".align needs a power of two", line)
+            padding = (-self._location) % alignment
+            if padding:
+                self._append(_FillItem(line=line, size=padding, fill=0))
+        else:
+            raise AssemblyError(f"unknown directive {name}", line)
+
+    def _data_directive(self, rest: str, unit: int, line: int) -> None:
+        exprs: list[_Expr | bytes] = []
+        size = 0
+        for operand in _split_operands(rest):
+            if operand.startswith('"'):
+                payload = self._parse_string(operand, line)
+                if unit != 1:
+                    raise AssemblyError("strings only allowed in .byte", line)
+                exprs.append(payload)
+                size += len(payload)
+            else:
+                exprs.append(_Expr(operand, line))
+                size += unit
+        self._append(_DataItem(line=line, size=size, unit=unit, exprs=exprs))
+
+    @staticmethod
+    def _parse_string(text: str, line: int) -> bytes:
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AssemblyError(f"bad string literal: {text!r}", line)
+        body = text[1:-1]
+        return body.encode("latin-1").decode("unicode_escape").encode("latin-1")
+
+    # -- instructions --------------------------------------------------------
+
+    def _parse_instruction(self, text: str, line: int) -> None:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        item = self._build(mnemonic, operands, line)
+        item.size = op_info(item.op).length
+        self._append(item)
+
+    def _build(self, m: str, ops: list[str], line: int) -> _InstrItem:
+        # The indexed forms are selected automatically from the operand
+        # shape; accept the explicit spellings as aliases.
+        m = {"loadx": "load", "storex": "store",
+             "loadbx": "loadb", "storebx": "storeb"}.get(m, m)
+
+        def err(msg: str) -> AssemblyError:
+            return AssemblyError(f"{m}: {msg}", line)
+
+        if m in _NO_OPERAND:
+            if ops:
+                raise err("takes no operands")
+            return _InstrItem(line=line, op=_NO_OPERAND[m])
+
+        if m in _SETCC:
+            if len(ops) != 1 or not is_reg_name(ops[0]):
+                raise err("needs one register")
+            return _InstrItem(line=line, op=_SETCC[m],
+                              r1=reg_number(ops[0]))
+
+        if m in _CMOVCC:
+            if len(ops) != 2 or not (is_reg_name(ops[0])
+                                     and is_reg_name(ops[1])):
+                raise err("needs two registers")
+            return _InstrItem(line=line, op=_CMOVCC[m],
+                              r1=reg_number(ops[0]), r2=reg_number(ops[1]))
+
+        if m in _JCC or m in ("jmp", "call"):
+            if len(ops) != 1:
+                raise err("needs one operand")
+            if m in ("jmp", "call") and is_reg_name(ops[0]):
+                op = Op.JMP_R if m == "jmp" else Op.CALL_R
+                return _InstrItem(line=line, op=op, r1=reg_number(ops[0]))
+            op = _JCC.get(m) or (Op.JMP if m == "jmp" else Op.CALL)
+            return _InstrItem(line=line, op=op, rel_expr=_Expr(ops[0], line))
+
+        if m == "mov":
+            if len(ops) != 2:
+                raise err("needs two operands")
+            dst, src = ops
+            if not is_reg_name(dst):
+                raise err(f"bad destination {dst!r} (use store for memory)")
+            if is_reg_name(src):
+                return _InstrItem(
+                    line=line, op=Op.MOV_RR,
+                    r1=reg_number(dst), r2=reg_number(src),
+                )
+            return _InstrItem(
+                line=line, op=Op.MOV_RI,
+                r1=reg_number(dst), imm_expr=_Expr(src, line),
+            )
+
+        if m == "xchg":
+            if len(ops) != 2 or not (is_reg_name(ops[0]) and is_reg_name(ops[1])):
+                raise err("needs two registers")
+            return _InstrItem(
+                line=line, op=Op.XCHG_RR,
+                r1=reg_number(ops[0]), r2=reg_number(ops[1]),
+            )
+
+        if m in _ALU_RR_RI:
+            if len(ops) != 2 or not is_reg_name(ops[0]):
+                raise err("needs register, register|immediate")
+            rr, ri = _ALU_RR_RI[m]
+            if is_reg_name(ops[1]):
+                return _InstrItem(
+                    line=line, op=rr, r1=reg_number(ops[0]), r2=reg_number(ops[1])
+                )
+            return _InstrItem(
+                line=line, op=ri, r1=reg_number(ops[0]),
+                imm_expr=_Expr(ops[1], line),
+            )
+
+        if m in _SHIFTS:
+            if len(ops) != 2 or not is_reg_name(ops[0]):
+                raise err("needs register, count")
+            imm_op, cl_op = _SHIFTS[m]
+            if ops[1].lower() == "cl":
+                if cl_op is None:
+                    raise err("cl count not supported for rotates")
+                return _InstrItem(line=line, op=cl_op, r1=reg_number(ops[0]))
+            return _InstrItem(
+                line=line, op=imm_op, r1=reg_number(ops[0]),
+                imm_expr=_Expr(ops[1], line),
+            )
+
+        if m in _UNARY_R:
+            if len(ops) != 1 or not is_reg_name(ops[0]):
+                raise err("needs one register")
+            return _InstrItem(line=line, op=_UNARY_R[m], r1=reg_number(ops[0]))
+
+        if m == "push":
+            if len(ops) != 1:
+                raise err("needs one operand")
+            if is_reg_name(ops[0]):
+                return _InstrItem(line=line, op=Op.PUSH_R, r1=reg_number(ops[0]))
+            return _InstrItem(line=line, op=Op.PUSH_I, imm_expr=_Expr(ops[0], line))
+
+        if m in ("load", "loadb", "lea"):
+            if len(ops) != 2 or not is_reg_name(ops[0]):
+                raise err("needs register, [memory]")
+            mem = self._parse_mem(ops[1], line)
+            return self._mem_item(m, mem, reg_number(ops[0]), None, line)
+
+        if m in ("store", "storeb"):
+            if len(ops) != 2 or not is_reg_name(ops[1]):
+                raise err("needs [memory], register")
+            mem = self._parse_mem(ops[0], line)
+            return self._mem_item(m, mem, reg_number(ops[1]), None, line)
+
+        if m == "storei":
+            if len(ops) != 2:
+                raise err("needs [memory], immediate")
+            mem = self._parse_mem(ops[0], line)
+            if mem.index is not None:
+                raise err("storei does not support an index register")
+            return _InstrItem(
+                line=line, op=Op.STOREI, r2=mem.base,
+                disp_expr=mem.disp, imm_expr=_Expr(ops[1], line),
+            )
+
+        if m in ("in", "out"):
+            if len(ops) != 1:
+                raise err("needs a port number")
+            op = Op.IN if m == "in" else Op.OUT
+            return _InstrItem(line=line, op=op, imm_expr=_Expr(ops[0], line))
+
+        if m == "int":
+            if len(ops) != 1:
+                raise err("needs a vector")
+            return _InstrItem(line=line, op=Op.INT, imm_expr=_Expr(ops[0], line))
+
+        raise err("unknown mnemonic")
+
+    def _mem_item(
+        self,
+        m: str,
+        mem: _MemOperand,
+        reg: int,
+        imm: _Expr | None,
+        line: int,
+    ) -> _InstrItem:
+        indexed = mem.index is not None
+        table = {
+            ("load", False): Op.LOAD, ("load", True): Op.LOADX,
+            ("loadb", False): Op.LOADB, ("loadb", True): Op.LOADBX,
+            ("store", False): Op.STORE, ("store", True): Op.STOREX,
+            ("storeb", False): Op.STOREB, ("storeb", True): Op.STOREBX,
+            ("lea", False): Op.LEA, ("lea", True): Op.LEAX,
+        }
+        op = table[(m, indexed)]
+        return _InstrItem(
+            line=line,
+            op=op,
+            r1=reg,
+            r2=mem.base,
+            index=mem.index or 0,
+            scale_log2=mem.scale_log2,
+            disp_expr=mem.disp,
+            imm_expr=imm,
+        )
+
+    def _parse_mem(self, text: str, line: int) -> _MemOperand:
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise AssemblyError(f"expected memory operand, got {text!r}", line)
+        body = match.group(1)
+        base: int | None = None
+        index: int | None = None
+        scale_log2 = 0
+        disp_terms: list[str] = []
+        # Split on top-level +/-, keeping signs with terms.
+        terms: list[str] = []
+        current = ""
+        for ch in body:
+            if ch in "+-" and current.strip():
+                terms.append(current.strip())
+                current = ch if ch == "-" else ""
+            else:
+                current += ch
+        if current.strip():
+            terms.append(current.strip())
+        for term in terms:
+            sign = ""
+            if term.startswith("-"):
+                sign = "-"
+                term = term[1:].strip()
+            if "*" in term:
+                reg_part, scale_part = (p.strip() for p in term.split("*", 1))
+                if not is_reg_name(reg_part) or sign:
+                    raise AssemblyError(f"bad index term {term!r}", line)
+                scale = int(scale_part, 0)
+                if scale not in (1, 2, 4, 8):
+                    raise AssemblyError(f"bad scale {scale}", line)
+                index = reg_number(reg_part)
+                scale_log2 = scale.bit_length() - 1
+            elif is_reg_name(term) and not sign:
+                if base is None:
+                    base = reg_number(term)
+                elif index is None:
+                    index = reg_number(term)
+                    scale_log2 = 0
+                else:
+                    raise AssemblyError("too many registers in address", line)
+            else:
+                disp_terms.append(sign + term)
+        if base is None:
+            raise AssemblyError("memory operand needs a base register", line)
+        disp = _Expr("+".join(disp_terms) or "0", line) if disp_terms else None
+        return _MemOperand(base, index, scale_log2, disp)
+
+
+_ALL_MNEMONICS = (
+    set(_ALU_RR_RI) | set(_UNARY_R) | set(_SHIFTS) | set(_NO_OPERAND)
+    | set(_JCC) | set(_SETCC) | set(_CMOVCC)
+    | {"mov", "xchg", "push", "load", "loadb", "store", "storeb", "storei",
+       "lea", "loadx", "storex", "in", "out", "int", "jmp", "call"}
+)
+
+
+def assemble(source: str) -> Program:
+    """Assemble t86 source text into a ``Program`` image."""
+    return _Assembler(source).run()

@@ -1,0 +1,153 @@
+"""Binary decoder for t86 instructions.
+
+``decode`` works over any object exposing ``fetch_byte(addr) -> int``
+(an MMU-translating fetcher, a raw bytearray wrapper, ...) so that both
+the interpreter (which must take page faults on instruction fetch) and
+the translator (which reads through committed memory) share one decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.isa.exceptions import GuestException, invalid_opcode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BYTE_TABLE, Fmt
+
+MASK32 = 0xFFFFFFFF
+
+
+class ByteFetcher(Protocol):
+    """Anything that can produce code bytes for the decoder."""
+
+    def fetch_byte(self, addr: int) -> int:  # pragma: no cover - protocol
+        ...
+
+
+class BytesFetcher:
+    """Adapter: decode out of a plain bytes-like object with a base address."""
+
+    def __init__(self, data: bytes | bytearray, base: int = 0) -> None:
+        self._data = data
+        self._base = base
+
+    def fetch_byte(self, addr: int) -> int:
+        offset = addr - self._base
+        if not 0 <= offset < len(self._data):
+            raise IndexError(f"fetch outside buffer: {addr:#x}")
+        return self._data[offset]
+
+
+def _fetch_u16(fetch: ByteFetcher, addr: int) -> int:
+    return fetch.fetch_byte(addr) | (fetch.fetch_byte(addr + 1) << 8)
+
+
+def _fetch_u32(fetch: ByteFetcher, addr: int) -> int:
+    return (
+        fetch.fetch_byte(addr)
+        | (fetch.fetch_byte(addr + 1) << 8)
+        | (fetch.fetch_byte(addr + 2) << 16)
+        | (fetch.fetch_byte(addr + 3) << 24)
+    )
+
+
+def _fetch_s32(fetch: ByteFetcher, addr: int) -> int:
+    value = _fetch_u32(fetch, addr)
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def decode(fetch: ByteFetcher, addr: int) -> Instruction:
+    """Decode one instruction at guest address ``addr``.
+
+    Raises ``GuestException`` (#UD) for an invalid opcode byte.  Fetch
+    faults (e.g. #PF during instruction fetch) propagate from the
+    fetcher.
+    """
+    opcode_byte = fetch.fetch_byte(addr)
+    info = BYTE_TABLE[opcode_byte]
+    if info is None:
+        raise invalid_opcode(instr_addr=addr)
+    op = info.op
+    fmt = info.fmt
+    if fmt is Fmt.NONE:
+        return Instruction(op, addr=addr)
+    if fmt is Fmt.R:
+        reg = fetch.fetch_byte(addr + 1) & 0x0F
+        _check_reg(reg, addr)
+        return Instruction(op, r1=reg, addr=addr)
+    if fmt is Fmt.RR:
+        b = fetch.fetch_byte(addr + 1)
+        r1, r2 = b >> 4, b & 0x0F
+        _check_reg(r1, addr)
+        _check_reg(r2, addr)
+        return Instruction(op, r1=r1, r2=r2, addr=addr)
+    if fmt is Fmt.RI:
+        reg = fetch.fetch_byte(addr + 1) & 0x0F
+        _check_reg(reg, addr)
+        return Instruction(op, r1=reg, imm=_fetch_u32(fetch, addr + 2), addr=addr)
+    if fmt is Fmt.RI8:
+        reg = fetch.fetch_byte(addr + 1) & 0x0F
+        _check_reg(reg, addr)
+        return Instruction(op, r1=reg, imm=fetch.fetch_byte(addr + 2), addr=addr)
+    if fmt is Fmt.RM:
+        b = fetch.fetch_byte(addr + 1)
+        r1, base = b >> 4, b & 0x0F
+        _check_reg(r1, addr)
+        _check_reg(base, addr)
+        return Instruction(
+            op, r1=r1, r2=base, disp=_fetch_s32(fetch, addr + 2), addr=addr
+        )
+    if fmt is Fmt.MR:
+        b = fetch.fetch_byte(addr + 1)
+        base, src = b >> 4, b & 0x0F
+        _check_reg(base, addr)
+        _check_reg(src, addr)
+        return Instruction(
+            op, r1=src, r2=base, disp=_fetch_s32(fetch, addr + 2), addr=addr
+        )
+    if fmt in (Fmt.RMX, Fmt.MRX):
+        b = fetch.fetch_byte(addr + 1)
+        c = fetch.fetch_byte(addr + 2)
+        index, scale = c >> 4, c & 0x0F
+        disp = _fetch_s32(fetch, addr + 3)
+        if scale > 3:
+            raise invalid_opcode(instr_addr=addr)
+        if fmt is Fmt.RMX:
+            r1, base = b >> 4, b & 0x0F
+        else:
+            base, r1 = b >> 4, b & 0x0F
+        for reg in (r1, base, index):
+            _check_reg(reg, addr)
+        return Instruction(
+            op,
+            r1=r1,
+            r2=base,
+            index=index,
+            scale_log2=scale,
+            disp=disp,
+            addr=addr,
+        )
+    if fmt is Fmt.MI:
+        base = fetch.fetch_byte(addr + 1) & 0x0F
+        _check_reg(base, addr)
+        return Instruction(
+            op,
+            r2=base,
+            disp=_fetch_s32(fetch, addr + 2),
+            imm=_fetch_u32(fetch, addr + 6),
+            addr=addr,
+        )
+    if fmt is Fmt.I32:
+        return Instruction(op, imm=_fetch_u32(fetch, addr + 1), addr=addr)
+    if fmt is Fmt.I16:
+        return Instruction(op, imm=_fetch_u16(fetch, addr + 1), addr=addr)
+    if fmt is Fmt.I8:
+        return Instruction(op, imm=fetch.fetch_byte(addr + 1), addr=addr)
+    if fmt is Fmt.REL:
+        return Instruction(op, disp=_fetch_s32(fetch, addr + 1), addr=addr)
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def _check_reg(reg: int, addr: int) -> None:
+    if reg > 7:
+        raise invalid_opcode(instr_addr=addr)

@@ -1,0 +1,67 @@
+"""t86 disassembler.
+
+Turns guest memory back into readable assembly, resilient to data bytes
+(undecodable bytes are emitted as ``.byte``).  Used by the CLI tools
+and by CMS debugging helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.decoder import ByteFetcher, decode
+from repro.isa.exceptions import GuestException
+from repro.isa.instruction import Instruction, format_instruction
+
+
+@dataclass
+class DisasmLine:
+    """One disassembled unit: an instruction or a data byte."""
+
+    addr: int
+    raw: bytes
+    text: str
+    instruction: Instruction | None = None
+
+    def __str__(self) -> str:
+        raw_hex = self.raw.hex()
+        return f"{self.addr:08x}:  {raw_hex:<20}  {self.text}"
+
+
+def disassemble(fetch: ByteFetcher, start: int, count: int = 16,
+                end: int | None = None) -> list[DisasmLine]:
+    """Disassemble up to ``count`` instructions from ``start``.
+
+    When ``end`` is given it bounds the byte range instead of the
+    instruction count.  Undecodable bytes become ``.byte`` lines and
+    decoding resumes at the next byte.
+    """
+    lines: list[DisasmLine] = []
+    addr = start
+    remaining = count if end is None else float("inf")
+    while remaining > 0 and (end is None or addr < end):
+        try:
+            instr = decode(fetch, addr)
+        except GuestException:
+            try:
+                byte = fetch.fetch_byte(addr)
+            except Exception:
+                break
+            lines.append(DisasmLine(addr, bytes((byte,)),
+                                    f".byte {byte:#04x}"))
+            addr += 1
+            remaining -= 1
+            continue
+        except Exception:
+            break
+        raw = bytes(fetch.fetch_byte(addr + i) for i in range(instr.length))
+        lines.append(DisasmLine(addr, raw, format_instruction(instr), instr))
+        addr = instr.next_addr
+        remaining -= 1
+    return lines
+
+
+def disassemble_text(fetch: ByteFetcher, start: int, count: int = 16,
+                     end: int | None = None) -> str:
+    return "\n".join(str(line) for line in disassemble(fetch, start, count,
+                                                       end))

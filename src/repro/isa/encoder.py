@@ -1,0 +1,110 @@
+"""Binary encoder for t86 instructions.
+
+The encoding is byte-exact and stable: the assembler, the self-checking
+translations, and the stylized-SMC immediate reloading all rely on the
+byte layout documented in ``repro.isa.opcodes.Fmt``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt
+
+MASK32 = 0xFFFFFFFF
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack("<I", value & MASK32)
+
+
+def _s32(value: int) -> bytes:
+    return struct.pack("<i", ((value + 0x80000000) & MASK32) - 0x80000000)
+
+
+def encode(instr: Instruction) -> bytes:
+    """Encode ``instr`` to its byte representation."""
+    fmt = instr.info.fmt
+    op = bytes((instr.op,))
+    if fmt is Fmt.NONE:
+        return op
+    if fmt is Fmt.R:
+        return op + bytes((instr.r1 & 0x0F,))
+    if fmt is Fmt.RR:
+        return op + bytes(((instr.r1 << 4) | (instr.r2 & 0x0F),))
+    if fmt is Fmt.RI:
+        return op + bytes((instr.r1 & 0x0F,)) + _u32(instr.imm)
+    if fmt is Fmt.RI8:
+        return op + bytes((instr.r1 & 0x0F, instr.imm & 0xFF))
+    if fmt is Fmt.RM:
+        return op + bytes(((instr.r1 << 4) | (instr.r2 & 0x0F),)) + _s32(instr.disp)
+    if fmt is Fmt.MR:
+        return op + bytes(((instr.r2 << 4) | (instr.r1 & 0x0F),)) + _s32(instr.disp)
+    if fmt is Fmt.RMX:
+        return (
+            op
+            + bytes(
+                (
+                    (instr.r1 << 4) | (instr.r2 & 0x0F),
+                    (instr.index << 4) | (instr.scale_log2 & 0x0F),
+                )
+            )
+            + _s32(instr.disp)
+        )
+    if fmt is Fmt.MRX:
+        return (
+            op
+            + bytes(
+                (
+                    (instr.r2 << 4) | (instr.r1 & 0x0F),
+                    (instr.index << 4) | (instr.scale_log2 & 0x0F),
+                )
+            )
+            + _s32(instr.disp)
+        )
+    if fmt is Fmt.MI:
+        return (
+            op + bytes((instr.r2 & 0x0F,)) + _s32(instr.disp) + _u32(instr.imm)
+        )
+    if fmt is Fmt.I32:
+        return op + _u32(instr.imm)
+    if fmt is Fmt.I16:
+        return op + struct.pack("<H", instr.imm & 0xFFFF)
+    if fmt is Fmt.I8:
+        return op + bytes((instr.imm & 0xFF,))
+    if fmt is Fmt.REL:
+        return op + _s32(instr.disp)
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def immediate_field_offset(instr: Instruction) -> int | None:
+    """Byte offset of the 32-bit immediate field within the encoding.
+
+    Returns None for instructions without a 32-bit immediate.  Used by
+    the stylized-SMC transformation (paper §3.6.4), which retranslates
+    code so that patched immediates are reloaded from the code bytes at
+    runtime; it needs to know exactly which bytes hold the immediate.
+    """
+    fmt = instr.info.fmt
+    if fmt is Fmt.RI:
+        return 2
+    if fmt is Fmt.I32:
+        return 1
+    if fmt is Fmt.MI:
+        return 6
+    return None
+
+
+def displacement_field_offset(instr: Instruction) -> int | None:
+    """Byte offset of the 32-bit displacement field, or None."""
+    fmt = instr.info.fmt
+    if fmt in (Fmt.RM, Fmt.MR):
+        return 2
+    if fmt in (Fmt.RMX, Fmt.MRX):
+        return 3
+    if fmt is Fmt.MI:
+        return 2
+    if fmt is Fmt.REL:
+        return 1
+    return None

@@ -1,0 +1,105 @@
+"""Guest exception model for the t86 ISA.
+
+Vectors follow x86: #DE=0, #BP=3, #UD=6, #GP=13, #PF=14.  Hardware
+interrupts are delivered at vectors 32+IRQ (the conventional remapped-PIC
+layout).  ``GuestException`` is raised by the interpreter and by the
+host's guest-level faulting atoms; the CMS runtime converts it into an
+architectural exception delivery through the guest IVT.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Vector(enum.IntEnum):
+    """Architectural exception vectors."""
+
+    DE = 0  # divide error
+    BP = 3  # breakpoint
+    UD = 6  # invalid opcode
+    GP = 13  # general protection
+    PF = 14  # page fault
+
+
+# Vectors that push an error code on delivery, as on x86.
+ERROR_CODE_VECTORS = frozenset({Vector.GP, Vector.PF})
+
+# Base vector for hardware interrupts (IRQ n -> vector IRQ_BASE + n).
+IRQ_BASE = 32
+
+
+class GuestException(Exception):
+    """An architectural guest exception (fault).
+
+    ``vector`` is the IVT index; ``error_code`` is pushed for GP/PF;
+    ``fault_addr`` is the faulting linear address for #PF (the CR2
+    analogue); ``instr_addr`` is the address of the faulting instruction
+    (the precise EIP to report).
+    """
+
+    def __init__(
+        self,
+        vector: int,
+        error_code: int = 0,
+        fault_addr: int | None = None,
+        instr_addr: int | None = None,
+    ) -> None:
+        self.vector = int(vector)
+        self.error_code = error_code
+        self.fault_addr = fault_addr
+        self.instr_addr = instr_addr
+        name = Vector(vector).name if vector in Vector._value2member_map_ else str(
+            vector
+        )
+        super().__init__(
+            f"guest exception #{name} error={error_code:#x}"
+            + (f" addr={fault_addr:#x}" if fault_addr is not None else "")
+        )
+
+    @property
+    def pushes_error_code(self) -> bool:
+        return self.vector in ERROR_CODE_VECTORS
+
+    def at(self, instr_addr: int) -> "GuestException":
+        """Return a copy annotated with the faulting instruction address."""
+        return GuestException(
+            self.vector, self.error_code, self.fault_addr, instr_addr
+        )
+
+
+def divide_error(instr_addr: int | None = None) -> GuestException:
+    """#DE — divide by zero or quotient overflow."""
+    return GuestException(Vector.DE, instr_addr=instr_addr)
+
+
+def invalid_opcode(instr_addr: int | None = None) -> GuestException:
+    """#UD — undefined opcode byte."""
+    return GuestException(Vector.UD, instr_addr=instr_addr)
+
+
+def breakpoint_fault(instr_addr: int | None = None) -> GuestException:
+    """#BP — breakpoint (``int 3``)."""
+    return GuestException(Vector.BP, instr_addr=instr_addr)
+
+
+def general_protection(error_code: int = 0,
+                       instr_addr: int | None = None) -> GuestException:
+    """#GP — access outside physical memory or other protection violation."""
+    return GuestException(Vector.GP, error_code, instr_addr=instr_addr)
+
+
+# Page-fault error-code bits (x86 layout).
+PF_PRESENT = 0x1  # fault caused by protection, not a missing page
+PF_WRITE = 0x2  # faulting access was a write
+
+
+def page_fault(
+    fault_addr: int,
+    is_write: bool,
+    present: bool,
+    instr_addr: int | None = None,
+) -> GuestException:
+    """#PF — paging translation failure at ``fault_addr``."""
+    code = (PF_PRESENT if present else 0) | (PF_WRITE if is_write else 0)
+    return GuestException(Vector.PF, code, fault_addr, instr_addr)

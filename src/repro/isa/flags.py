@@ -1,0 +1,227 @@
+"""EFLAGS subset for the t86 guest ISA.
+
+The bit positions match x86 so that packed flag words look familiar in
+dumps and tests.  Only the flags the t86 instruction set can produce or
+consume are modelled: CF, PF, ZF, SF, OF, and the interrupt-enable IF.
+
+This module also provides the reference flag-computation helpers used by
+the interpreter.  The binary translator emits host-ALU sequences that
+must agree with these functions; the property-based equivalence tests in
+``tests/test_equivalence.py`` enforce that agreement.
+"""
+
+from __future__ import annotations
+
+CF = 0x0001  # carry
+PF = 0x0004  # parity (of low byte)
+ZF = 0x0040  # zero
+SF = 0x0080  # sign
+OF = 0x0800  # overflow
+IF = 0x0200  # interrupt enable
+
+# Reserved bit 1 is always set on x86; we mirror that so packed EFLAGS
+# round-trips through pushf/popf look authentic.
+ALWAYS_ONE = 0x0002
+
+ARITH_FLAGS = CF | PF | ZF | SF | OF
+
+FLAG_BITS = {"cf": CF, "pf": PF, "zf": ZF, "sf": SF, "of": OF, "if": IF}
+FLAG_NAMES = {bit: name for name, bit in FLAG_BITS.items()}
+
+MASK32 = 0xFFFFFFFF
+SIGN32 = 0x80000000
+
+# Parity of every byte value, precomputed.  x86 PF is set when the low
+# byte of the result has an even number of one bits.
+_PARITY = tuple(1 if bin(b).count("1") % 2 == 0 else 0 for b in range(256))
+
+
+def parity(value: int) -> int:
+    """Return 1 if the low byte of ``value`` has even parity, else 0."""
+    return _PARITY[value & 0xFF]
+
+
+def pzs_flags(result: int) -> int:
+    """Return the PF/ZF/SF bits for a 32-bit ``result``."""
+    result &= MASK32
+    flags = 0
+    if _PARITY[result & 0xFF]:
+        flags |= PF
+    if result == 0:
+        flags |= ZF
+    if result & SIGN32:
+        flags |= SF
+    return flags
+
+
+def flags_add(a: int, b: int, carry_in: int = 0) -> tuple[int, int]:
+    """Return ``(result, arith_flags)`` for a 32-bit add with carry-in."""
+    a &= MASK32
+    b &= MASK32
+    wide = a + b + carry_in
+    result = wide & MASK32
+    flags = pzs_flags(result)
+    if wide > MASK32:
+        flags |= CF
+    if ((a ^ result) & (b ^ result)) & SIGN32:
+        flags |= OF
+    return result, flags
+
+
+def flags_sub(a: int, b: int, borrow_in: int = 0) -> tuple[int, int]:
+    """Return ``(result, arith_flags)`` for a 32-bit subtract with borrow."""
+    a &= MASK32
+    b &= MASK32
+    wide = a - b - borrow_in
+    result = wide & MASK32
+    flags = pzs_flags(result)
+    if wide < 0:
+        flags |= CF
+    if ((a ^ b) & (a ^ result)) & SIGN32:
+        flags |= OF
+    return result, flags
+
+
+def flags_logic(result: int) -> tuple[int, int]:
+    """Return ``(result, arith_flags)`` for and/or/xor/test.
+
+    x86 clears CF and OF for the logical operations.
+    """
+    result &= MASK32
+    return result, pzs_flags(result)
+
+
+def flags_inc(value: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for ``inc``; CF is preserved.
+
+    The returned ``mask`` is the set of flag bits the operation defines
+    (everything arithmetic except CF, matching x86 ``inc``).
+    """
+    result = (value + 1) & MASK32
+    flags = pzs_flags(result)
+    if result == SIGN32:
+        flags |= OF
+    return result, flags, ARITH_FLAGS & ~CF
+
+
+def flags_dec(value: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for ``dec``; CF is preserved."""
+    result = (value - 1) & MASK32
+    flags = pzs_flags(result)
+    if result == SIGN32 - 1:
+        flags |= OF
+    return result, flags, ARITH_FLAGS & ~CF
+
+
+def flags_neg(value: int) -> tuple[int, int]:
+    """Return ``(result, arith_flags)`` for ``neg`` (two's complement)."""
+    result, flags = flags_sub(0, value)
+    return result, flags
+
+
+def flags_shl(value: int, count: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for a left shift.
+
+    The count is masked to 5 bits as on x86.  A zero count defines no
+    flags (mask 0).  CF receives the last bit shifted out; OF is the
+    x86 count==1 definition (sign change), left undefined-but-stable for
+    larger counts the same way.
+    """
+    count &= 31
+    if count == 0:
+        return value & MASK32, 0, 0
+    result = (value << count) & MASK32
+    flags = pzs_flags(result)
+    if (value >> (32 - count)) & 1:
+        flags |= CF
+    if ((result ^ (value << (count - 1))) & SIGN32) != 0:
+        flags |= OF
+    return result, flags, ARITH_FLAGS
+
+
+def flags_shr(value: int, count: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for a logical right shift."""
+    count &= 31
+    value &= MASK32
+    if count == 0:
+        return value, 0, 0
+    result = value >> count
+    flags = pzs_flags(result)
+    if (value >> (count - 1)) & 1:
+        flags |= CF
+    if value & SIGN32:
+        flags |= OF  # x86: OF = original sign bit for shr count==1
+    return result, flags, ARITH_FLAGS
+
+
+def flags_sar(value: int, count: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for an arithmetic right shift."""
+    count &= 31
+    value &= MASK32
+    if count == 0:
+        return value, 0, 0
+    signed = value - (1 << 32) if value & SIGN32 else value
+    result = (signed >> count) & MASK32
+    flags = pzs_flags(result)
+    if (signed >> (count - 1)) & 1:
+        flags |= CF
+    # OF is cleared by sar on x86 (count == 1); keep it clear always.
+    return result, flags, ARITH_FLAGS
+
+
+def flags_rol(value: int, count: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for rotate-left; defines CF/OF."""
+    count &= 31
+    value &= MASK32
+    if count == 0:
+        return value, 0, 0
+    result = ((value << count) | (value >> (32 - count))) & MASK32
+    flags = CF if result & 1 else 0
+    if ((result ^ value) & SIGN32) and count == 1:
+        flags |= OF
+    return result, flags, CF | OF
+
+
+def flags_ror(value: int, count: int) -> tuple[int, int, int]:
+    """Return ``(result, flags, mask)`` for rotate-right; defines CF/OF."""
+    count &= 31
+    value &= MASK32
+    if count == 0:
+        return value, 0, 0
+    result = ((value >> count) | (value << (32 - count))) & MASK32
+    flags = CF if result & SIGN32 else 0
+    if ((result ^ value) & SIGN32) and count == 1:
+        flags |= OF
+    return result, flags, CF | OF
+
+
+def flags_mul(low: int, high: int) -> int:
+    """Return arith flags for unsigned widening multiply.
+
+    x86 ``mul`` sets CF and OF when the high half is nonzero, and leaves
+    PF/ZF/SF undefined; we define them from the low result for
+    determinism.
+    """
+    flags = pzs_flags(low)
+    if high & MASK32:
+        flags |= CF | OF
+    return flags
+
+
+def flags_imul(result: int, full: int) -> int:
+    """Return arith flags for signed multiply truncated to 32 bits.
+
+    CF and OF are set when the full product does not fit in a signed
+    32-bit value.
+    """
+    flags = pzs_flags(result)
+    signed = result - (1 << 32) if result & SIGN32 else result
+    if signed != full:
+        flags |= CF | OF
+    return flags
+
+
+def format_flags(eflags: int) -> str:
+    """Render a packed flags word as e.g. ``[CF ZF IF]`` for debugging."""
+    names = [name.upper() for name, bit in FLAG_BITS.items() if eflags & bit]
+    return "[" + " ".join(names) + "]"

@@ -1,0 +1,46 @@
+"""General-purpose register definitions for the t86 guest ISA.
+
+The register numbering follows x86: EAX=0, ECX=1, EDX=2, EBX=3, ESP=4,
+EBP=5, ESI=6, EDI=7.  ESP is the hardware stack pointer used implicitly
+by ``push``/``pop``/``call``/``ret``/``int``/``iret``; ECX's low byte
+(CL) is the implicit shift count for the ``shl r, cl`` family; EAX/EDX
+are implicit in ``mul``/``div`` and port I/O, mirroring x86.
+"""
+
+from __future__ import annotations
+
+EAX = 0
+ECX = 1
+EDX = 2
+EBX = 3
+ESP = 4
+EBP = 5
+ESI = 6
+EDI = 7
+
+NUM_REGS = 8
+
+REG_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+_NAME_TO_NUM = {name: number for number, name in enumerate(REG_NAMES)}
+
+
+def reg_name(number: int) -> str:
+    """Return the assembly name for register ``number``."""
+    if not 0 <= number < NUM_REGS:
+        raise ValueError(f"register number out of range: {number}")
+    return REG_NAMES[number]
+
+
+def reg_number(name: str) -> int:
+    """Return the register number for assembly name ``name``.
+
+    Raises ``KeyError`` for unknown names; callers that parse user text
+    (the assembler) catch this and report a syntax error.
+    """
+    return _NAME_TO_NUM[name.lower()]
+
+
+def is_reg_name(name: str) -> bool:
+    """Return True if ``name`` names a general-purpose register."""
+    return name.lower() in _NAME_TO_NUM

@@ -1,0 +1,34 @@
+"""Guest physical memory, bus, paging, and code-protection hardware.
+
+This package models the memory-system side of the Crusoe co-design:
+
+* ``physical`` — flat guest RAM.
+* ``bus`` — physical address routing between RAM and memory-mapped I/O
+  devices (the distinction speculation must discover at runtime,
+  paper §3.4).
+* ``mmu`` — guest virtual-to-physical translation producing precise
+  page faults.
+* ``protection`` — the page-granularity write-protection CMS places on
+  pages containing translated code (paper §3.6).
+* ``finegrain`` — the small hardware cache of sub-page protection
+  entries (paper §3.6.1, US patent 6,363,336).
+"""
+
+from repro.memory.bus import MemoryBus, MMIORegion
+from repro.memory.finegrain import FineGrainCache, GRANULE_SIZE
+from repro.memory.mmu import MMU
+from repro.memory.physical import PAGE_SIZE, PhysicalMemory, page_of
+from repro.memory.protection import ProtectionMap, StoreClass
+
+__all__ = [
+    "MemoryBus",
+    "MMIORegion",
+    "FineGrainCache",
+    "GRANULE_SIZE",
+    "MMU",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "page_of",
+    "ProtectionMap",
+    "StoreClass",
+]

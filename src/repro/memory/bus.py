@@ -1,0 +1,142 @@
+"""The guest physical memory bus.
+
+The bus routes physical addresses either to RAM or to memory-mapped I/O
+regions owned by devices.  This is the distinction at the heart of the
+paper's §3.4: *at translation time* a memory access cannot be classified
+as RAM or I/O — only the bus knows, at runtime, per access.  The host's
+speculatively reordered memory atoms consult ``is_io`` and fault when
+they touch an I/O region.
+
+Device MMIO side effects are irrevocable (paper: "they trigger
+irrevocable interactions with external devices"), which is why the host
+keeps stores gated in the store buffer until commit, and why reordered
+accesses to these regions must abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.isa.exceptions import general_protection
+from repro.memory.physical import PhysicalMemory
+
+MASK32 = 0xFFFFFFFF
+
+
+class MMIOHandler(Protocol):
+    """Interface a device exposes for a memory-mapped region."""
+
+    def mmio_read(self, offset: int, size: int) -> int:  # pragma: no cover
+        ...
+
+    def mmio_write(self, offset: int, value: int, size: int) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class MMIORegion:
+    """A physical address window owned by a device."""
+
+    base: int
+    size: int
+    handler: MMIOHandler
+    name: str = "mmio"
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+
+class MemoryBus:
+    """Routes physical accesses to RAM or MMIO regions.
+
+    ``store_observers`` are callbacks ``(addr, size)`` invoked *after*
+    every RAM write that goes through the bus; the CMS uses one to keep
+    the translation cache coherent with memory written by the
+    interpreter, committed translations, and DMA.
+    """
+
+    def __init__(self, ram: PhysicalMemory) -> None:
+        self.ram = ram
+        self.regions: list[MMIORegion] = []
+        self.store_observers: list[Callable[[int, int], None]] = []
+        self.io_reads = 0
+        self.io_writes = 0
+
+    def add_region(self, region: MMIORegion) -> None:
+        for existing in self.regions:
+            if (region.base < existing.base + existing.size
+                    and existing.base < region.base + region.size):
+                raise ValueError(
+                    f"MMIO region {region.name} overlaps {existing.name}"
+                )
+        self.regions.append(region)
+
+    def region_at(self, addr: int) -> MMIORegion | None:
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def is_io(self, addr: int, size: int = 1) -> bool:
+        """True if any byte of [addr, addr+size) falls in an MMIO region."""
+        for region in self.regions:
+            if addr < region.base + region.size and region.base < addr + size:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Access paths.  Reads/writes raise guest #GP for addresses that hit
+    # neither RAM nor a device, matching a machine-check-free PC where
+    # unmapped physical accesses just misbehave; faulting keeps bugs in
+    # workloads loud.
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> int:
+        addr &= MASK32
+        region = self.region_at(addr)
+        if region is not None:
+            self.io_reads += 1
+            return region.handler.mmio_read(addr - region.base, size) & (
+                (1 << (8 * size)) - 1
+            )
+        try:
+            if size == 1:
+                return self.ram.read8(addr)
+            if size == 4:
+                return self.ram.read32(addr)
+        except IndexError:
+            raise general_protection() from None
+        raise ValueError(f"unsupported access size {size}")
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        addr &= MASK32
+        region = self.region_at(addr)
+        if region is not None:
+            self.io_writes += 1
+            region.handler.mmio_write(addr - region.base, value, size)
+            return
+        try:
+            if size == 1:
+                self.ram.write8(addr, value)
+            elif size == 4:
+                self.ram.write32(addr, value)
+            else:
+                raise ValueError(f"unsupported access size {size}")
+        except IndexError:
+            raise general_protection() from None
+        for observer in self.store_observers:
+            observer(addr, size)
+
+    def read_code_bytes(self, addr: int, length: int) -> bytes:
+        """Fetch code bytes from RAM, bypassing MMIO.
+
+        Instruction fetch from device space is a workload bug; raise #GP
+        if attempted.
+        """
+        if self.is_io(addr, length):
+            raise general_protection()
+        try:
+            return self.ram.read_bytes(addr, length)
+        except IndexError:
+            raise general_protection() from None

@@ -1,0 +1,211 @@
+"""``repro-cms`` — command-line front end.
+
+Subcommands::
+
+    repro-cms list                       # available workloads
+    repro-cms run  <workload>            # run under full CMS, print stats
+    repro-cms compare <workload>         # run under contrasting configs
+    repro-cms disasm <workload>          # disassemble the guest program
+    repro-cms translations <workload>    # dump translated molecules
+    repro-cms trace <workload>           # dump the CMS event trace
+
+Configuration toggles (for ``run``/``trace``/``translations``):
+``--no-reorder``, ``--no-alias-hw``, ``--no-fine-grain``,
+``--no-revalidation``, ``--no-groups``, ``--force-self-check``,
+``--no-adaptive``, ``--threshold N``, ``--interp-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.cms.config import CMSConfig
+from repro.workloads import get_workload, run_workload, workload_names
+
+
+def config_from_args(args: argparse.Namespace) -> CMSConfig:
+    config = CMSConfig()
+    overrides = {}
+    if getattr(args, "threshold", None) is not None:
+        overrides["translation_threshold"] = args.threshold
+    if getattr(args, "no_reorder", False):
+        overrides["reorder_memory"] = False
+        overrides["control_speculation"] = False
+    if getattr(args, "no_alias_hw", False):
+        overrides["use_alias_hw"] = False
+    if getattr(args, "no_fine_grain", False):
+        overrides["fine_grain_protection"] = False
+    if getattr(args, "no_revalidation", False):
+        overrides["self_revalidation"] = False
+    if getattr(args, "no_groups", False):
+        overrides["translation_groups"] = False
+    if getattr(args, "force_self_check", False):
+        overrides["force_self_check"] = True
+    if getattr(args, "no_adaptive", False):
+        overrides["adaptive_retranslation"] = False
+    config = replace(config, **overrides)
+    if getattr(args, "interp_only", False):
+        config = config.interpreter_only()
+    return config
+
+
+def add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threshold", type=int, default=None,
+                        help="translation threshold")
+    for flag in ("no-reorder", "no-alias-hw", "no-fine-grain",
+                 "no-revalidation", "no-groups", "force-self-check",
+                 "no-adaptive", "interp-only"):
+        parser.add_argument(f"--{flag}", action="store_true")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_WORKLOADS
+
+    print(f"{'name':<16} {'category':<8} description")
+    for name in workload_names():
+        workload = ALL_WORKLOADS[name]
+        print(f"{name:<16} {workload.category:<8} {workload.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    config = config_from_args(args)
+    result = run_workload(workload, config)
+    print(f"workload  : {workload.name} ({workload.description})")
+    print(f"halted    : {result.halted}")
+    print(f"output    : {result.console_output.strip()!r}")
+    print(f"mol/instr : {result.mpx:.2f}")
+    if result.frames:
+        print(f"frames    : {result.frames}")
+    print()
+    print(result.system.stats.summary(config.cost))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    base = CMSConfig()
+    variants = {
+        "baseline": base,
+        "no reordering": replace(base, reorder_memory=False,
+                                 control_speculation=False),
+        "no alias hw": replace(base, use_alias_hw=False),
+        "no fine-grain": replace(base, fine_grain_protection=False),
+        "forced self-check": replace(base, force_self_check=True),
+        "interpreter only": base.interpreter_only(),
+    }
+    baseline = None
+    print(f"{'configuration':<20} {'molecules':>12} {'mol/instr':>10} "
+          f"{'vs baseline':>12}")
+    for label, config in variants.items():
+        result = run_workload(workload, config)
+        if baseline is None:
+            baseline = result
+        else:
+            assert result.console_output == baseline.console_output, (
+                f"{label}: output diverged"
+            )
+        delta = result.degradation_vs(baseline)
+        print(f"{label:<20} {result.total_molecules:>12} "
+              f"{result.mpx:>10.2f} {delta:>+11.1%}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.disasm import disassemble_text
+
+    workload = get_workload(args.workload)
+    machine, entry = workload.build_machine()
+    start = args.addr if args.addr is not None else entry
+    print(disassemble_text(machine, start, count=args.count))
+    return 0
+
+
+def cmd_translations(args: argparse.Namespace) -> int:
+    from repro.cms.system import CodeMorphingSystem
+
+    workload = get_workload(args.workload)
+    machine, entry = workload.build_machine()
+    system = CodeMorphingSystem(machine, config_from_args(args))
+    system.run(entry, max_instructions=workload.max_instructions)
+    translations = sorted(system.tcache.translations(),
+                          key=lambda t: -t.executions_molecules)
+    for translation in translations[: args.count]:
+        print(f"== {translation.describe()}  entries={translation.entries}"
+              f"  molecules-executed={translation.executions_molecules}")
+        for index, molecule in enumerate(translation.molecules):
+            label = "/".join(k for k, v in translation.labels.items()
+                             if v == index)
+            print(f"  {index:4d} {label:>9} {molecule}")
+        print()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cms.system import CodeMorphingSystem
+
+    workload = get_workload(args.workload)
+    machine, entry = workload.build_machine()
+    system = CodeMorphingSystem(machine, config_from_args(args))
+    system.run(entry, max_instructions=workload.max_instructions)
+    print(system.trace.dump(args.count))
+    print()
+    print("event totals:")
+    for event, count in sorted(system.trace.counts.items(),
+                               key=lambda item: -item[1]):
+        print(f"  {event.value:<20} {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cms",
+        description="Transmeta Code Morphing Software reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run a workload")
+    run_parser.add_argument("workload")
+    add_config_flags(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="compare configurations")
+    compare_parser.add_argument("workload")
+    compare_parser.set_defaults(func=cmd_compare)
+
+    disasm_parser = sub.add_parser("disasm", help="disassemble guest code")
+    disasm_parser.add_argument("workload")
+    disasm_parser.add_argument("--addr", type=lambda v: int(v, 0),
+                               default=None)
+    disasm_parser.add_argument("--count", type=int, default=32)
+    disasm_parser.set_defaults(func=cmd_disasm)
+
+    trans_parser = sub.add_parser("translations",
+                                  help="dump hot translations")
+    trans_parser.add_argument("workload")
+    trans_parser.add_argument("--count", type=int, default=3)
+    add_config_flags(trans_parser)
+    trans_parser.set_defaults(func=cmd_translations)
+
+    trace_parser = sub.add_parser("trace", help="dump the event trace")
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("--count", type=int, default=60)
+    add_config_flags(trace_parser)
+    trace_parser.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

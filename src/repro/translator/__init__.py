@@ -1,0 +1,36 @@
+"""The dynamic binary translator.
+
+"The translator is the largest, most complex component of CMS.  It
+comprises modules that decode x86 instructions, select a region for
+translation, analyze x86 data and control flow within the region,
+generate native VLIW code for the region, optimize it, and schedule it."
+(paper §2)
+
+Pipeline::
+
+    region.py    select a hot trace region from the profile
+    frontend.py  guest instructions -> IR (flags fully explicit)
+    optimize.py  constant folding, copy propagation, CSE, dead-code
+                 (and dead-flag) elimination
+    schedule.py  dependence DAG -> VLIW list schedule, with speculative
+                 load reordering under alias-hardware protection
+    codegen.py   temp allocation, molecule emission, exit stubs,
+                 self-check / self-revalidation prologues, chaining stubs
+
+Everything is driven by a ``TranslationPolicy`` (policies.py): the
+adaptive retranslation controller reruns this pipeline with increasingly
+conservative policies when a translation keeps failing its speculative
+assumptions.
+"""
+
+from repro.translator.policies import TranslationPolicy
+from repro.translator.region import Region, RegionSelector
+from repro.translator.translator import TranslationError, Translator
+
+__all__ = [
+    "TranslationPolicy",
+    "Region",
+    "RegionSelector",
+    "TranslationError",
+    "Translator",
+]

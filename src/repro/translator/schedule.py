@@ -1,0 +1,392 @@
+"""VLIW trace scheduling with speculation.
+
+This is where the paper's performance story lives.  The scheduler builds
+a dependence DAG over the optimized trace IR and then list-schedules it
+into VLIW cycles (future molecules).  Ordering edges:
+
+* data dependences through temps and guest locations;
+* store-store order (the gated store buffer drains in issue order);
+* load-store anti order (a program-earlier load never sinks below a
+  store);
+* **store-load order, speculatively omitted**: a program-later load may
+  be hoisted above an earlier store when the policy allows it — either
+  because the addresses are provably disjoint, or under alias-hardware
+  protection (§3.5): the load records its address in an alias entry and
+  every store it crossed carries a check mask;
+* exits order all architectural effects (guest-location writebacks,
+  stores, potentially-faulting ops must complete before a later exit),
+  but *loads may be hoisted above side exits* under control speculation
+  (§3.2) — a hoisted load that faults produces a speculative fault that
+  rollback-and-reinterpret discovers to be harmless;
+* commits and barrier (I/O) ops order everything.
+
+Any load actually scheduled out of program order is marked
+``reordered`` so the hardware can detect speculative accesses to
+memory-mapped I/O space at runtime (§3.4).
+
+Cycles with no issued atoms become explicit no-op molecules: the
+TM5800 has "very few hardware interlocks — CMS guarantees correct
+operation by careful scheduling, inserting no-ops if necessary" (§2),
+so schedule length is honestly visible in the executed-molecule metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.atoms import AluOp
+from repro.translator.ir import (
+    IROp,
+    IROpKind,
+    Temp,
+    TraceIR,
+    is_guest_loc,
+)
+from repro.translator.policies import TranslationPolicy
+
+# Result latencies in cycles, by IR kind (see host.molecule.LATENCIES).
+_LAT_DEFAULT = 1
+_LAT_LD = 3
+_LAT_DIV = 10
+_LAT_MUL = 3
+_LAT_PORT = 4
+
+_MUL_OPS = {AluOp.MUL, AluOp.UMULH, AluOp.SMULH}
+
+# Issue-slot classes per cycle: two ALUs, one memory, one FP/media, one
+# branch unit; at most four atoms issue per molecule.
+_MEM_KINDS = {IROpKind.LD, IROpKind.ST, IROpKind.PORT_IN, IROpKind.PORT_OUT}
+_FPM_KINDS = {IROpKind.DIVU, IROpKind.DIVS}
+_BR_KINDS = {IROpKind.EXIT_IF, IROpKind.EXIT, IROpKind.EXIT_IND,
+             IROpKind.LOOP, IROpKind.COMMIT}
+_MOVE_KINDS = {IROpKind.MOVI, IROpKind.MOV}
+_ALU_KINDS = {IROpKind.ALU, IROpKind.ALUI, IROpKind.SEL}
+
+
+def _latency(op: IROp) -> int:
+    if op.kind is IROpKind.LD:
+        return _LAT_LD
+    if op.kind in _FPM_KINDS:
+        return _LAT_DIV
+    if op.kind in (IROpKind.ALU, IROpKind.ALUI) and op.aluop in _MUL_OPS:
+        return _LAT_MUL
+    if op.kind is IROpKind.PORT_IN:
+        return _LAT_PORT
+    return _LAT_DEFAULT
+
+
+@dataclass
+class Schedule:
+    """The scheduler's result: ops grouped into issue cycles."""
+
+    cycles: list[list[IROp]] = field(default_factory=list)
+    speculated_loads: int = 0
+    hoisted_over_exits: int = 0
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+
+class _Dag:
+    """Dependence graph over trace ops."""
+
+    def __init__(self, n: int) -> None:
+        self.succs: list[dict[int, int]] = [dict() for _ in range(n)]
+        self.pred_count = [0] * n
+
+    def add_edge(self, src: int, dst: int, latency: int = 1) -> None:
+        if src == dst:
+            return
+        existing = self.succs[src].get(dst)
+        if existing is None:
+            self.succs[src][dst] = latency
+            self.pred_count[dst] += 1
+        elif latency > existing:
+            self.succs[src][dst] = latency
+
+
+def _provably_disjoint(a: IROp, b: IROp) -> bool:
+    """True when two memory ops certainly do not overlap.
+
+    Requires the same symbolic base operand and non-overlapping
+    displacement ranges — the "overlap is not obvious" test from §3.5.
+    """
+    if a.srcs[0] != b.srcs[0]:
+        return False
+    return a.disp + a.size <= b.disp or b.disp + b.size <= a.disp
+
+
+def _provably_overlapping(a: IROp, b: IROp) -> bool:
+    """True when two memory ops certainly DO overlap (same base operand,
+    intersecting ranges).  Speculating on such a pair would fault every
+    single execution; the scheduler keeps them ordered instead."""
+    if a.srcs[0] != b.srcs[0]:
+        return False
+    return not (a.disp + a.size <= b.disp or b.disp + b.size <= a.disp)
+
+
+class Scheduler:
+    """DAG construction + list scheduling for one trace."""
+
+    def __init__(self, policy: TranslationPolicy,
+                 alias_entries: int = 8) -> None:
+        self.policy = policy
+        self.alias_entries = alias_entries
+
+    # ------------------------------------------------------------------
+    # DAG construction
+    # ------------------------------------------------------------------
+
+    def build_dag(self, trace: TraceIR) -> tuple[_Dag, list[tuple[int, int]]]:
+        """Returns the DAG and the list of speculative (store, load) pairs
+        whose ordering edge was omitted under alias protection."""
+        ops = trace.ops
+        n = len(ops)
+        dag = _Dag(n)
+        policy = self.policy
+
+        last_def: dict = {}  # operand -> op index of last writer
+        readers: dict = {}  # operand -> list of reader indices since write
+        stores: list[int] = []  # store indices since last barrier
+        loads: list[int] = []
+        faulting: list[int] = []  # LD/ST/DIV since last barrier
+        guest_effects: list[int] = []  # guest-loc writes + STs + exits
+        exits: list[int] = []
+        last_barrier: int | None = None
+        spec_pairs: list[tuple[int, int]] = []
+        spec_budget = self.alias_entries
+
+        for j, op in enumerate(ops):
+            kind = op.kind
+
+            # Data dependences.
+            for src in op.srcs:
+                definer = last_def.get(src)
+                if definer is not None:
+                    dag.add_edge(definer, j, _latency(ops[definer]))
+                if is_guest_loc(src):
+                    readers.setdefault(src, []).append(j)
+            for dest in op.writes():
+                definer = last_def.get(dest)
+                if definer is not None:
+                    dag.add_edge(definer, j, 1)  # output dependence
+                for reader in readers.get(dest, ()):  # anti dependence
+                    dag.add_edge(reader, j, 1)
+                readers[dest] = []
+                last_def[dest] = j
+
+            if last_barrier is not None:
+                dag.add_edge(last_barrier, j, 1)
+
+            is_barrier = op.barrier or kind in (
+                IROpKind.COMMIT, IROpKind.PORT_IN, IROpKind.PORT_OUT
+            )
+            is_final = kind in (IROpKind.EXIT, IROpKind.EXIT_IND,
+                                IROpKind.LOOP)
+
+            if is_barrier or is_final:
+                # Full barrier: ordered after everything so far.
+                for i in range(j):
+                    dag.add_edge(i, j, _latency(ops[i])
+                                 if ops[i].writes() else 1)
+                last_barrier = j
+                stores, loads, faulting = [], [], []
+                guest_effects, exits = [], []
+                if kind is IROpKind.COMMIT:
+                    continue
+
+            if kind is IROpKind.ST and not is_barrier:
+                for i in stores:
+                    dag.add_edge(i, j, 1)  # store-store order
+                for i in loads:
+                    # A program-earlier load must not sink below a store
+                    # unless provably disjoint.
+                    if not _provably_disjoint(ops[i], op):
+                        dag.add_edge(i, j, 1)
+                for e in exits:
+                    dag.add_edge(e, j, 1)  # stores never cross exits
+                stores.append(j)
+                faulting.append(j)
+                guest_effects.append(j)
+            elif kind is IROpKind.LD and not is_barrier:
+                for i in stores:
+                    if _provably_disjoint(ops[i], op):
+                        continue
+                    can_speculate = (
+                        policy.reorder_memory
+                        and policy.use_alias_hw
+                        and not _provably_overlapping(ops[i], op)
+                        and not op.no_speculate
+                        and not ops[i].no_speculate
+                        and spec_budget > 0
+                    )
+                    if can_speculate:
+                        spec_pairs.append((i, j))
+                    else:
+                        dag.add_edge(i, j, 1)
+                if any(pair[1] == j for pair in spec_pairs):
+                    spec_budget -= 1
+                if not policy.control_speculation or op.no_speculate:
+                    for e in exits:
+                        dag.add_edge(e, j, 1)
+                loads.append(j)
+                faulting.append(j)
+            elif kind in (IROpKind.DIVU, IROpKind.DIVS):
+                if not policy.control_speculation:
+                    for e in exits:
+                        dag.add_edge(e, j, 1)
+                faulting.append(j)
+            elif kind is IROpKind.MOV and is_guest_loc(op.dest):
+                for e in exits:
+                    dag.add_edge(e, j, 1)  # writebacks stay below exits
+                guest_effects.append(j)
+            elif kind is IROpKind.EXIT_IF:
+                # All architectural effects and fault sources before the
+                # exit must complete first; later ones wait (handled when
+                # they are visited).
+                for i in guest_effects:
+                    dag.add_edge(i, j, 1)
+                for i in faulting:
+                    dag.add_edge(i, j, 1)
+                for e in exits:
+                    dag.add_edge(e, j, 1)  # exits stay ordered
+                exits.append(j)
+                guest_effects.append(j)
+
+        # Reset the per-window speculation budget at commits: entries are
+        # cleared by commit, so each window gets the full set.  (The
+        # budget bookkeeping above is conservative across the whole
+        # trace; refine it per window.)
+        return dag, spec_pairs
+
+    # ------------------------------------------------------------------
+    # List scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, trace: TraceIR) -> Schedule:
+        ops = trace.ops
+        n = len(ops)
+        if n == 0:
+            return Schedule()
+        dag, spec_pairs = self.build_dag(trace)
+
+        # Critical-path priorities.
+        priority = [1] * n
+        for i in range(n - 1, -1, -1):
+            best = 0
+            for j, lat in dag.succs[i].items():
+                best = max(best, priority[j] + lat)
+            priority[i] = best + 1
+
+        pred_count = dag.pred_count[:]
+        earliest = [0] * n
+        placed_cycle = [-1] * n
+        ready: list[int] = [i for i in range(n) if pred_count[i] == 0]
+        remaining = n
+        cycles: list[list[IROp]] = []
+        cycle_index = 0
+
+        while remaining > 0:
+            issued: list[int] = []
+            slots = {"alu": 2, "mem": 1, "fpm": 1, "br": 1}
+            atom_budget = 4
+            barrier_in_cycle = False
+            candidates = sorted(
+                (i for i in ready if earliest[i] <= cycle_index),
+                key=lambda i: -priority[i],
+            )
+            for i in candidates:
+                if atom_budget == 0 or barrier_in_cycle:
+                    break
+                op = ops[i]
+                is_barrier = op.barrier or op.kind in (
+                    IROpKind.PORT_IN, IROpKind.PORT_OUT
+                )
+                if is_barrier and issued:
+                    continue  # barrier ops issue alone
+                slot = self._slot_for(op, slots)
+                if slot is None:
+                    continue
+                slots[slot] -= 1
+                atom_budget -= 1
+                issued.append(i)
+                if is_barrier:
+                    barrier_in_cycle = True
+
+            for i in issued:
+                ready.remove(i)
+                placed_cycle[i] = cycle_index
+                remaining -= 1
+                for j, lat in dag.succs[i].items():
+                    pred_count[j] -= 1
+                    earliest[j] = max(earliest[j], cycle_index + lat)
+                    if pred_count[j] == 0:
+                        ready.append(j)
+
+            cycles.append([ops[i] for i in issued])
+            cycle_index += 1
+            if cycle_index > 40 * n + 64:  # pragma: no cover - safety net
+                raise RuntimeError("scheduler failed to converge")
+
+        schedule = Schedule(cycles=cycles)
+        self._apply_speculation_marks(ops, placed_cycle, spec_pairs, schedule)
+        return schedule
+
+    @staticmethod
+    def _slot_for(op: IROp, slots: dict[str, int]) -> str | None:
+        kind = op.kind
+        if kind in _MEM_KINDS:
+            return "mem" if slots["mem"] else None
+        if kind in _FPM_KINDS:
+            return "fpm" if slots["fpm"] else None
+        if kind in _BR_KINDS:
+            return "br" if slots["br"] else None
+        if kind in _MOVE_KINDS:
+            if slots["alu"]:
+                return "alu"
+            return "fpm" if slots["fpm"] else None
+        if kind in _ALU_KINDS:
+            return "alu" if slots["alu"] else None
+        raise AssertionError(f"unslottable op {op}")
+
+    def _apply_speculation_marks(
+        self,
+        ops: list[IROp],
+        placed_cycle: list[int],
+        spec_pairs: list[tuple[int, int]],
+        schedule: Schedule,
+    ) -> None:
+        """Set reordered/alias attributes from the final placement."""
+        # Alias protection: loads actually hoisted above a store they
+        # could alias with.
+        load_entry: dict[int, int] = {}
+        next_entry = 0
+        for store_idx, load_idx in spec_pairs:
+            if placed_cycle[load_idx] <= placed_cycle[store_idx]:
+                load = ops[load_idx]
+                store = ops[store_idx]
+                entry = load_entry.get(load_idx)
+                if entry is None:
+                    entry = next_entry % self.alias_entries
+                    next_entry += 1
+                    load_entry[load_idx] = entry
+                    load.alias_entry = entry
+                    load.reordered = True
+                    schedule.speculated_loads += 1
+                store.alias_check |= 1 << entry
+
+        # Control speculation: loads hoisted above a program-earlier exit.
+        exit_positions = [
+            (i, placed_cycle[i])
+            for i, op in enumerate(ops)
+            if op.kind is IROpKind.EXIT_IF
+        ]
+        for i, op in enumerate(ops):
+            if op.kind is not IROpKind.LD or op.reordered:
+                continue
+            for exit_idx, exit_cycle in exit_positions:
+                if exit_idx < i and placed_cycle[i] <= exit_cycle:
+                    op.reordered = True
+                    schedule.hoisted_over_exits += 1
+                    break

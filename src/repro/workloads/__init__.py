@@ -1,0 +1,29 @@
+"""Synthetic workload suite.
+
+Stand-ins for the paper's benchmark set (Appendix A): OS boots,
+SPECcpu-style kernels, Windows productivity applications, multimedia,
+and the self-modifying game workloads.  Each workload is a complete t86
+guest program plus machine setup; every workload prints a checksum to
+the console so any two runs (different CMS configurations, or CMS vs
+the pure interpreter) can be compared for correctness.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult, run_workload
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    APP_WORKLOADS,
+    BOOT_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "run_workload",
+    "ALL_WORKLOADS",
+    "APP_WORKLOADS",
+    "BOOT_WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,606 @@
+"""Application workloads: SPECcpu-style kernels, productivity, media.
+
+Each kernel is a t86 program exercising a characteristic memory/compute
+mix, standing in for the paper's application benchmarks (Appendix A).
+The interesting spread, for Figures 2 and 3, is in how much each kernel
+benefits from speculative load/store reordering:
+
+* ``tomcatv``/``wordperfect``/``compress`` interleave stores with loads
+  whose addresses the translator cannot disambiguate — big wins from
+  alias-hardware speculation, big degradation without it;
+* ``ora``/``alvinn`` are arithmetic-dominated — small degradation;
+* ``multimedia`` mixes buffer compute with memory-mapped framebuffer
+  output.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.builder import (
+    DATA_BASE,
+    mix_checksum,
+    random_words,
+    word_table,
+    wrap,
+)
+
+ARENA = DATA_BASE
+
+
+def eqntott_like(scale: int = 1) -> Workload:
+    """Bit-vector truth-table intersection (eqntott's inner loops).
+
+    Input vectors and the output vector live behind *different pointer
+    registers*, so the next element's input loads can only be hoisted
+    above the previous element's output store by alias-hardware
+    speculation (§3.5).
+    """
+    table_a = word_table("vec_a", random_words(101, 258), org=ARENA)
+    table_b = word_table("vec_b", random_words(102, 258))
+    body = f"""
+    mov edi, {12 * scale}        ; passes
+eq_pass:
+    mov ebx, vec_a
+    mov ebp, vec_out
+    mov ecx, 0
+eq_loop:
+    ; element i: intersect, normalize, store
+    loadx eax, [ebx+ecx*4]       ; a[i]
+    loadx edx, [ebx+ecx*4+1032]  ; b[i] (vec_b follows vec_a)
+    and eax, edx
+    mov edx, eax
+    shr edx, 16
+    xor eax, edx                 ; fold high bits (real latency chain)
+    imul eax, 0x9E3B
+    storex [ebp+ecx*4], eax      ; out[i]
+    xor esi, eax
+    ; element i+1: loads hoist above out[i]'s store
+    loadx eax, [ebx+ecx*4+4]
+    loadx edx, [ebx+ecx*4+1036]
+    and eax, edx
+    mov edx, eax
+    shr edx, 16
+    xor eax, edx
+    imul eax, 0x9E3B
+    storex [ebp+ecx*4+4], eax
+    add esi, eax
+    add ecx, 2
+    cmp ecx, 256
+    jne eq_loop
+    dec edi
+    jnz eq_pass
+"""
+    data = f"{table_a}\n{table_b}\nvec_out:\n    .space 1040\n"
+    return Workload("eqntott", "app", wrap(body, data),
+                    "bit-vector intersection kernel (SPECcpu92 eqntott)")
+
+
+def compress_like(scale: int = 1) -> Workload:
+    """Hash-table compressor loop (SPECcpu92 compress flavour)."""
+    input_table = word_table("cin", random_words(103, 512, 0xFF),
+                             org=ARENA)
+    body = f"""
+    mov edi, {10 * scale}
+cp_pass:
+    mov ebx, cin
+    mov ebp, ctab
+    mov ecx, 0
+    mov edx, 5381                ; running hash
+cp_loop:
+    ; symbol 1
+    loadx eax, [ebx+ecx*4]       ; next input symbol
+    shl edx, 5
+    add edx, eax                 ; h = h*32 + c
+    mov eax, edx
+    and eax, 1023
+    storex [ebp+eax*4], edx      ; update the code table at h
+    ; probe the prefix table at a rotated hash: the addresses never
+    ; truly collide, but the translator cannot prove it, so the load
+    ; only hoists above the store via alias-hardware speculation
+    mov eax, edx
+    shr eax, 7
+    and eax, 1023
+    loadx eax, [ebp+eax*4+4096]
+    xor esi, eax
+    ; symbol 2 (unrolled: its input load and probe overlap symbol 1's
+    ; table update only under speculation)
+    loadx eax, [ebx+ecx*4+4]
+    shl edx, 5
+    add edx, eax
+    mov eax, edx
+    and eax, 1023
+    storex [ebp+eax*4], edx
+    mov eax, edx
+    shr eax, 7
+    and eax, 1023
+    loadx eax, [ebp+eax*4+4096]
+    {mix_checksum("eax")}
+    add ecx, 2
+    cmp ecx, 512
+    jne cp_loop
+    dec edi
+    jnz cp_pass
+"""
+    data = f"{input_table}\nctab:\n    .space 8192\n"
+    return Workload("compress", "app", wrap(body, data),
+                    "hash-table compression kernel (SPECcpu92 compress)")
+
+
+def sc_like(scale: int = 1) -> Workload:
+    """Spreadsheet column recalculation (SPECcpu92 sc flavour)."""
+    table = word_table("cells", random_words(104, 400, 10_000), org=ARENA)
+    body = f"""
+    mov edi, {14 * scale}
+sc_pass:
+    mov ecx, 1
+sc_loop:
+    ; cells[i] = cells[i-1] + cells[i]*3 (dependent recalculation)
+    mov edx, ecx
+    dec edx
+    loadx eax, [ebx+edx*4+cells]
+    loadx ebp, [ebx+ecx*4+cells]
+    imul ebp, 3
+    add eax, ebp
+    storex [ebx+ecx*4+cells], eax
+    inc ecx
+    cmp ecx, 400
+    jne sc_loop
+    load eax, [ebx+cells+1596]   ; cells[399]
+    {mix_checksum("eax")}
+    dec edi
+    jnz sc_pass
+"""
+    data = table
+    return Workload("sc", "app", wrap(body, data),
+                    "spreadsheet recalculation kernel (SPECcpu92 sc)")
+
+
+def gcc_like(scale: int = 1) -> Workload:
+    """Pointer-chasing with data-dependent branches (gcc flavour)."""
+    # A ring of 128 nodes: [next, value] pairs, shuffled order.
+    order = random_words(105, 128, 127)
+    nodes = []
+    for i in range(128):
+        succ = (i * 17 + 5) % 128
+        nodes.append(ARENA + succ * 8)  # next pointer
+        nodes.append(order[i])  # value
+    table = word_table("nodes", nodes, org=ARENA)
+    body = f"""
+    mov edi, {900 * scale}
+    mov eax, nodes
+gc_loop:
+    load edx, [eax]          ; next
+    load ebx, [eax+4]        ; value
+    test ebx, 1
+    jz gc_even
+    add esi, ebx
+    jmp gc_next
+gc_even:
+    xor esi, ebx
+gc_next:
+    rol esi, 3
+    mov eax, edx
+    dec edi
+    jnz gc_loop
+"""
+    return Workload("gcc", "app", wrap(body, table),
+                    "pointer-chasing compiler kernel (SPECcpu92 gcc)")
+
+
+def tomcatv_like(scale: int = 1) -> Workload:
+    """Mesh-relaxation stencil (SPECcpu92 tomcatv flavour).
+
+    Stores to the output row are immediately re-read as inputs of the
+    next element — exactly the pattern where alias speculation wins.
+    """
+    table = word_table("meshx", random_words(106, 604, 0xFFFF), org=ARENA)
+    body = f"""
+    mov edi, {8 * scale}
+tv_pass:
+    mov ebx, meshx
+    mov ebp, meshy
+    mov ecx, 0
+tv_loop:
+    ; element i: 3-point stencil from X with relaxation weighting,
+    ; write Y — a long load->compute->store chain per element
+    loadx eax, [ebx+ecx*4]
+    loadx edx, [ebx+ecx*4+4]
+    add eax, edx
+    loadx edx, [ebx+ecx*4+8]
+    add eax, edx
+    imul eax, 0x5556             ; ~1/3 in fixed point
+    shr eax, 16
+    storex [ebp+ecx*4], eax
+    xor esi, eax
+    ; element i+1: its X loads hoist above the Y store (different
+    ; pointer registers — unprovable disjointness, §3.5)
+    loadx eax, [ebx+ecx*4+4]
+    loadx edx, [ebx+ecx*4+8]
+    add eax, edx
+    loadx edx, [ebx+ecx*4+12]
+    add eax, edx
+    imul eax, 0x5556
+    shr eax, 16
+    storex [ebp+ecx*4+4], eax
+    add esi, eax
+    rol esi, 3
+    add ecx, 2
+    cmp ecx, 600
+    jne tv_loop
+    dec edi
+    jnz tv_pass
+"""
+    data = f"{table}\nmeshy:\n    .space 2432\n"
+    return Workload("tomcatv", "app", wrap(body, data),
+                    "mesh stencil kernel (SPECcpu92 tomcatv)")
+
+
+def ora_like(scale: int = 1) -> Workload:
+    """Arithmetic-dominated ray tracer core (SPECcpu92 ora flavour)."""
+    body = f"""
+    mov edi, {2600 * scale}
+    mov eax, 0x12345
+or_loop:
+    ; fixed-point Newton iteration-ish arithmetic, no memory traffic
+    mov ebx, eax
+    imul ebx, eax
+    shr ebx, 8
+    add ebx, 0x10001
+    mov ecx, eax
+    shl ecx, 1
+    or ecx, 1
+    mov edx, 0
+    div ecx
+    add eax, ebx
+    rol eax, 7
+    {mix_checksum("eax")}
+    dec edi
+    jnz or_loop
+"""
+    return Workload("ora", "app", wrap(body),
+                    "arithmetic ray-tracing kernel (SPECcpu92 ora)")
+
+
+def alvinn_like(scale: int = 1) -> Workload:
+    """Neural-net dot products (SPECcpu92 alvinn flavour)."""
+    weights = word_table("weights", random_words(107, 256, 0xFFFF),
+                         org=ARENA)
+    inputs = word_table("inputs", random_words(108, 256, 0xFFFF))
+    body = f"""
+    mov edi, {20 * scale}
+al_pass:
+    mov ebx, weights
+    mov ebp, activations
+    mov ecx, 0
+    mov edx, 0               ; accumulator
+al_loop:
+    loadx eax, [ebx+ecx*4]        ; weight[i]
+    imul eax, ecx
+    add edx, eax
+    storex [ebp+ecx*4], edx       ; activation[i]
+    loadx eax, [ebx+ecx*4+4]      ; weight[i+1]: hoists over the store
+    imul eax, ecx
+    add edx, eax
+    storex [ebp+ecx*4+4], edx
+    inc ecx
+    inc ecx
+    cmp ecx, 256
+    jne al_loop
+    {mix_checksum("edx")}
+    dec edi
+    jnz al_pass
+"""
+    data = f"{weights}\n{inputs}\nactivations:\n    .space 1040\n"
+    return Workload("alvinn", "app", wrap(body, data),
+                    "neural-net dot-product kernel (SPECcpu92 alvinn)")
+
+
+def mdljsp2_like(scale: int = 1) -> Workload:
+    """Molecular-dynamics particle update (SPECcpu92 mdljsp2 flavour)."""
+    positions = word_table("posn", random_words(109, 300, 0xFFFF),
+                           org=ARENA)
+    velocities = word_table("veln", random_words(110, 300, 0xFF))
+    body = f"""
+    mov edi, {12 * scale}
+md_pass:
+    mov ebx, posn
+    mov ebp, veln
+    mov ecx, 0
+md_loop:
+    ; particle i: force evaluation (multiply chain), integrate, store
+    loadx eax, [ebx+ecx*4]
+    loadx edx, [ebp+ecx*4]
+    imul edx, 0x0101             ; force scaling
+    sar edx, 8
+    add eax, edx
+    storex [ebx+ecx*4], eax
+    sar edx, 1
+    add edx, 3
+    storex [ebp+ecx*4], edx
+    xor esi, eax
+    ; particle i+1: loads hoist over particle i's stores
+    loadx eax, [ebx+ecx*4+4]
+    loadx edx, [ebp+ecx*4+4]
+    imul edx, 0x0101
+    sar edx, 8
+    add eax, edx
+    storex [ebx+ecx*4+4], eax
+    sar edx, 1
+    add edx, 3
+    storex [ebp+ecx*4+4], edx
+    add esi, eax
+    rol esi, 5
+    add ecx, 2
+    cmp ecx, 300
+    jne md_loop
+    dec edi
+    jnz md_pass
+"""
+    data = f"{positions}\n{velocities}\n"
+    return Workload("mdljsp2", "app", wrap(body, data),
+                    "molecular dynamics kernel (SPECcpu92 mdljsp2)")
+
+
+def multimedia_like(scale: int = 1) -> Workload:
+    """Saturating pixel blend plus framebuffer output (MultimediaMark)."""
+    frame_src = word_table("srcpix", random_words(111, 256, 0xFF),
+                           org=ARENA)
+    body = f"""
+    mov edi, {12 * scale}
+mm_frame:
+    mov ebx, srcpix
+    mov ebp, mixbuf
+    mov ecx, 0
+mm_loop:
+    loadx eax, [ebx+ecx*4]
+    loadx edx, [ebp+ecx*4]
+    add eax, edx
+    cmp eax, 255
+    jbe mm_ok
+    mov eax, 255
+mm_ok:
+    storex [ebp+ecx*4], eax
+    loadx edx, [ebx+ecx*4+4]  ; next source pixel: hoists over the store
+    add esi, edx
+    {mix_checksum("eax")}
+    inc ecx
+    cmp ecx, 256
+    jne mm_loop
+    ; blit one scan segment to the memory-mapped framebuffer
+    mov ecx, 0
+    mov ebx, mixbuf
+    mov ebp, 0xA0000
+mm_blit:
+    loadx eax, [ebx+ecx*4]
+    storebx [ebp+ecx*1], eax
+    inc ecx
+    cmp ecx, 64
+    jne mm_blit
+    mov eax, 1
+    out 0xF0                 ; frame flip
+    ; frame statistics live on the code page (different granule): a
+    ; per-frame store that page-granularity protection faults on
+    mov ebx, mm_stats
+    load eax, [ebx]
+    inc eax
+    store [ebx], eax
+    load edx, [ebx+4]
+    add edx, esi
+    store [ebx+4], edx
+    dec edi
+    jnz mm_frame
+    jmp mm_done
+.align 64
+mm_stats:
+    .word 0, 0
+.space 56
+mm_done:
+"""
+    data = f"{frame_src}\nmixbuf:\n    .space 1024\n"
+    return Workload("multimedia", "app", wrap(body, data),
+                    "pixel blend + MMIO framebuffer (MultimediaMark99)")
+
+
+def cpumark_like(scale: int = 1) -> Workload:
+    """Synthetic CPU benchmark: tight store/load dependency chains."""
+    body = f"""
+    mov edi, {700 * scale}
+    mov ebx, scratch
+    mov ebp, scratch + 256
+cm_loop:
+    ; mixed ALU and memory work over two regions the translator cannot
+    ; prove disjoint: a mid-sensitivity synthetic benchmark
+    load eax, [ebx]
+    imul eax, 13
+    xor eax, edi
+    store [ebp], eax
+    load ecx, [ebx+4]
+    add ecx, eax
+    store [ebp+4], ecx
+    load eax, [ebx+8]
+    shr eax, 3
+    add eax, ecx
+    store [ebp+8], eax
+    {mix_checksum("eax")}
+    dec edi
+    jnz cm_loop
+"""
+    data = f".org {ARENA:#x}\nscratch:\n    .space 512\n"
+    return Workload("cpumark", "app", wrap(body, data),
+                    "synthetic CPU benchmark (CpuMark99)")
+
+
+def alias_stress(scale: int = 1) -> Workload:
+    """§3.5's recurring-failure microbenchmark (not in the figures).
+
+    ``edx`` aliases ``ebx`` exactly, but through arithmetic the
+    translator cannot see through (edi is loop-variant): the hoisted
+    re-reads violate their alias protection on *every* execution until
+    adaptive retranslation pins the stores to program order.
+    """
+    body = f"""
+    mov edi, {1400 * scale}
+    mov ebx, scratch
+as_loop:
+    mov edx, ebx
+    add edx, edi
+    sub edx, edi
+    store [ebx], edi
+    load eax, [edx]
+    add eax, 7
+    store [ebx+4], eax
+    load ecx, [edx+4]
+    xor ecx, edi
+    store [ebx+8], ecx
+    load eax, [edx+8]
+    {mix_checksum("eax")}
+    dec edi
+    jnz as_loop
+"""
+    data = f".org {ARENA:#x}\nscratch:\n    .space 64\n"
+    return Workload("alias_stress", "app", wrap(body, data),
+                    "always-aliasing speculation stress (§3.5)")
+
+
+def quattro_like(scale: int = 1) -> Workload:
+    """Spreadsheet app: cell grid updates with bounds branches."""
+    grid = word_table("grid", random_words(112, 320, 1000), org=ARENA)
+    body = f"""
+    mov edi, {10 * scale}
+qp_pass:
+    mov ebx, grid            ; the row above
+    mov ebp, grid + 64       ; the current row
+    mov ecx, 0
+qp_loop:
+    loadx eax, [ebx+ecx*4]
+    loadx edx, [ebp+ecx*4]
+    add eax, edx
+    cmp eax, 100000
+    jl qp_store
+    mov eax, 0
+qp_store:
+    storex [ebp+ecx*4], eax
+    loadx edx, [ebx+ecx*4+4] ; next cell above: hoists over the store
+    add esi, edx
+    {mix_checksum("eax")}
+    inc ecx
+    cmp ecx, 300
+    jne qp_loop
+    ; recalculation statistics on the code page (own granule)
+    mov ebx, qp_stats
+    load eax, [ebx]
+    inc eax
+    store [ebx], eax
+    load edx, [ebx+4]
+    xor edx, esi
+    store [ebx+4], edx
+    dec edi
+    jnz qp_pass
+    jmp qp_done
+.align 64
+qp_stats:
+    .word 0, 0
+.space 56
+qp_done:
+"""
+    return Workload("quattro_pro", "app", wrap(body, grid),
+                    "spreadsheet grid updates (Winstone QuattroPro)")
+
+
+def wordperfect_like(scale: int = 1) -> Workload:
+    """Word processor: byte-level buffer editing (insert/shift)."""
+    text = word_table("doc", random_words(113, 300, 0x7F), org=ARENA)
+    body = f"""
+    mov edi, {22 * scale}
+wp_pass:
+    ; shift a window of bytes right by one (memmove inner loop): source
+    ; and destination pointers differ by one byte, so disjointness of
+    ; the unrolled steps is real but unprovable
+    mov ebx, docbytes        ; source cursor base
+    mov ebp, docbytes + 1    ; destination cursor base
+    mov ecx, 252
+wp_shift:
+    ; four bytes per iteration, each transformed (case-fold style)
+    ; while shifting: the per-byte load->compute->store chains only
+    ; overlap when later loads are hoisted over earlier stores
+    loadbx eax, [ebx+ecx*1]
+    add eax, 1
+    and eax, 0x7F
+    storebx [ebp+ecx*1], eax
+    loadbx eax, [ebx+ecx*1-1]
+    add eax, 1
+    and eax, 0x7F
+    storebx [ebp+ecx*1-1], eax
+    loadbx eax, [ebx+ecx*1-2]
+    add eax, 1
+    and eax, 0x7F
+    storebx [ebp+ecx*1-2], eax
+    loadbx eax, [ebx+ecx*1-3]
+    add eax, 1
+    and eax, 0x7F
+    storebx [ebp+ecx*1-3], eax
+    sub ecx, 4
+    jnz wp_shift
+    ; fold the document into the checksum
+    mov ecx, 0
+wp_sum:
+    loadbx eax, [ebx+ecx*1]
+    add esi, eax
+    rol esi, 1
+    inc ecx
+    cmp ecx, 255
+    jne wp_sum
+    dec edi
+    jnz wp_pass
+"""
+    data = f"{text}\ndocbytes:\n    .space 512, 0x41\n"
+    return Workload("wordperfect", "app", wrap(body, data),
+                    "document buffer editing (Winstone WordPerfect)")
+
+
+def crafty_like(scale: int = 1) -> Workload:
+    """Board scanning with bit tricks (SPECint2000 crafty flavour)."""
+    board = word_table("board", random_words(114, 64), org=ARENA)
+    body = f"""
+    mov edi, {160 * scale}
+cr_pass:
+    mov ecx, 0
+cr_loop:
+    loadx eax, [ebx+ecx*4+board]
+    ; popcount-ish folding
+    mov edx, eax
+    shr edx, 1
+    and edx, 0x55555555
+    sub eax, edx
+    mov edx, eax
+    and eax, 0x33333333
+    shr edx, 2
+    and edx, 0x33333333
+    add eax, edx
+    {mix_checksum("eax")}
+    inc ecx
+    cmp ecx, 64
+    jne cr_loop
+    dec edi
+    jnz cr_pass
+"""
+    return Workload("crafty", "app", wrap(body, board),
+                    "bitboard scanning kernel (SPECint2000 crafty)")
+
+
+APP_FACTORIES = {
+    "eqntott": eqntott_like,
+    "compress": compress_like,
+    "sc": sc_like,
+    "gcc": gcc_like,
+    "tomcatv": tomcatv_like,
+    "ora": ora_like,
+    "alvinn": alvinn_like,
+    "mdljsp2": mdljsp2_like,
+    "multimedia": multimedia_like,
+    "cpumark": cpumark_like,
+    "alias_stress": alias_stress,
+    "quattro_pro": quattro_like,
+    "wordperfect": wordperfect_like,
+    "crafty": crafty_like,
+}

@@ -1,0 +1,424 @@
+"""Additional application workloads completing the Appendix-A suite.
+
+SPECcpu92 kernels (espresso, li, spice2g6, su2cor, wave5), the
+remaining Winstone productivity applications (Access, PowerPoint,
+Navigator, Corel), and the WindowsME help workload.  Several use the
+SETcc/CMOVcc families, as compiled x86 productivity code does.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.builder import (
+    DATA_BASE,
+    mix_checksum,
+    random_words,
+    word_table,
+    wrap,
+)
+
+ARENA = DATA_BASE
+
+
+def espresso_like(scale: int = 1) -> Workload:
+    """Two-level logic minimization: cube containment checks
+    (SPECcpu92 espresso flavour) — bit ops plus SETcc accumulation."""
+    cubes = word_table("cubes", random_words(201, 256), org=ARENA)
+    body = f"""
+    mov edi, {14 * scale}
+es_pass:
+    mov ebx, cubes
+    mov ecx, 0
+es_loop:
+    loadx eax, [ebx+ecx*4]        ; cube A
+    loadx edx, [ebx+ecx*4+4]      ; cube B
+    ; containment: A & B == A  ->  A covered by B
+    mov ebp, eax
+    and ebp, edx
+    cmp ebp, eax
+    sete ebp                      ; covered?
+    add esi, ebp
+    ; distance-1 merge test: popcount(A ^ B) == 1 approximated by
+    ; power-of-two check on the difference
+    xor eax, edx
+    mov edx, eax
+    dec edx
+    test eax, edx
+    setz edx
+    add esi, edx
+    rol esi, 1
+    add esi, 0x9E3779B9
+    inc ecx
+    cmp ecx, 254
+    jne es_loop
+    dec edi
+    jnz es_pass
+"""
+    return Workload("espresso", "app", wrap(body, cubes),
+                    "logic minimization kernel (SPECcpu92 espresso)")
+
+
+def li_like(scale: int = 1) -> Workload:
+    """Lisp interpreter: tagged-cell dispatch and cons-walking
+    (SPECcpu92 li flavour)."""
+    # Cells: [tag, payload] pairs; tag 0 = number, 1 = cons (payload is
+    # a cell index), 2 = symbol.
+    cells = []
+    values = random_words(202, 160, 0xFFFF)
+    for i in range(160):
+        tag = values[i] % 3
+        payload = (values[i] >> 4) % 160 if tag == 1 else values[i]
+        cells.append(tag)
+        cells.append(payload)
+    table = word_table("cells", cells, org=ARENA)
+    body = f"""
+    mov edi, {420 * scale}
+    mov edx, 0                    ; current cell index
+li_loop:
+    mov ebx, cells
+    mov eax, edx
+    shl eax, 3                    ; 8 bytes per cell
+    add ebx, eax
+    load eax, [ebx]               ; tag
+    load ebp, [ebx+4]             ; payload
+    cmp eax, 1
+    je li_cons
+    cmp eax, 0
+    je li_number
+    ; symbol: hash it into the checksum
+    xor esi, ebp
+    rol esi, 7
+    jmp li_next
+li_number:
+    add esi, ebp
+    jmp li_next
+li_cons:
+    mov edx, ebp                  ; follow the cons pointer
+    xor esi, 0x11
+    jmp li_step
+li_next:
+    inc edx
+li_step:
+    ; keep the index in range
+    mov eax, edx
+    cmp eax, 160
+    jb li_ok
+    mov edx, 0
+li_ok:
+    dec edi
+    jnz li_loop
+"""
+    return Workload("li", "app", wrap(body, table),
+                    "Lisp cell dispatch kernel (SPECcpu92 li)")
+
+
+def spice_like(scale: int = 1) -> Workload:
+    """Sparse matrix-vector products (SPECcpu92 spice2g6 flavour)."""
+    # Sparse rows: (column index, value) pairs, 4 nonzeros per row.
+    entries = []
+    values = random_words(203, 256, 0xFFF)
+    for i in range(128):
+        entries.append(values[i] % 64)  # column
+        entries.append(values[i + 128])  # value
+    matrix = word_table("matrix", entries, org=ARENA)
+    vector = word_table("vector", random_words(204, 64, 0xFFF))
+    body = f"""
+    mov edi, {30 * scale}
+sp_pass:
+    mov ebx, matrix
+    mov ebp, vector
+    mov ecx, 0
+    mov edx, 0                    ; row accumulator
+sp_loop:
+    loadx eax, [ebx+ecx*8]        ; column index
+    loadx eax, [ebp+eax*4]        ; vector[column] (indirect)
+    push eax
+    loadx eax, [ebx+ecx*8+4]      ; value
+    pop edx
+    imul eax, edx
+    sar eax, 6
+    add esi, eax
+    rol esi, 1
+    inc ecx
+    cmp ecx, 128
+    jne sp_loop
+    dec edi
+    jnz sp_pass
+"""
+    data = f"{matrix}\n{vector}\n"
+    return Workload("spice2g6", "app", wrap(body, data),
+                    "sparse matrix-vector kernel (SPECcpu92 spice2g6)")
+
+
+def su2cor_like(scale: int = 1) -> Workload:
+    """Lattice field update with nearest neighbours (su2cor flavour)."""
+    lattice = word_table("lattice", random_words(205, 260, 0xFFFF),
+                         org=ARENA)
+    body = f"""
+    mov edi, {14 * scale}
+su_pass:
+    mov ebx, lattice
+    mov ebp, latout
+    mov ecx, 1
+su_loop:
+    mov edx, ecx
+    dec edx
+    loadx eax, [ebx+edx*4]        ; left neighbour
+    loadx edx, [ebx+ecx*4+4]      ; right neighbour
+    add eax, edx
+    loadx edx, [ebx+ecx*4]        ; self
+    imul edx, 3
+    add eax, edx
+    imul eax, 0x3334              ; /5 in fixed point
+    shr eax, 16
+    storex [ebp+ecx*4], eax
+    xor esi, eax
+    rol esi, 1
+    inc ecx
+    cmp ecx, 258
+    jne su_loop
+    dec edi
+    jnz su_pass
+"""
+    data = f"{lattice}\nlatout:\n    .space 1056\n"
+    return Workload("su2cor", "app", wrap(body, data),
+                    "lattice update kernel (SPECcpu92 su2cor)")
+
+
+def wave5_like(scale: int = 1) -> Workload:
+    """Particle-in-cell field scatter/gather (wave5 flavour)."""
+    particles = word_table("particles", random_words(206, 128, 255),
+                           org=ARENA)
+    body = f"""
+    mov edi, {24 * scale}
+wv_pass:
+    mov ebx, particles
+    mov ebp, field
+    mov ecx, 0
+wv_loop:
+    loadx eax, [ebx+ecx*4]        ; particle cell index (0..255)
+    ; gather the field at the particle, update, scatter back
+    loadx edx, [ebp+eax*4]
+    add edx, ecx
+    and edx, 0xFFFF
+    storex [ebp+eax*4], edx
+    xor esi, edx
+    rol esi, 1
+    inc ecx
+    cmp ecx, 128
+    jne wv_loop
+    dec edi
+    jnz wv_pass
+"""
+    data = f"{particles}\nfield:\n    .space 1024\n"
+    return Workload("wave5", "app", wrap(body, data),
+                    "particle-in-cell kernel (SPECcpu92 wave5)")
+
+
+def access_like(scale: int = 1) -> Workload:
+    """Database record filtering with branchless predicates
+    (Winstone Access flavour) — heavy on SETcc/CMOVcc."""
+    records = word_table("records", random_words(207, 300, 100_000),
+                         org=ARENA)
+    body = f"""
+    mov edi, {12 * scale}
+ac_pass:
+    mov ebx, records
+    mov ecx, 0
+    mov edx, 0                    ; match count
+    mov ebp, 0                    ; running max
+ac_loop:
+    loadx eax, [ebx+ecx*4]
+    ; branchless predicate count: 1000 <= value < 50000
+    push eax
+    cmp eax, 1000
+    setae eax
+    add edx, eax
+    pop eax
+    ; branchless running max
+    cmp eax, ebp
+    cmova ebp, eax
+    inc ecx
+    cmp ecx, 300
+    jne ac_loop
+    xor esi, edx
+    add esi, ebp
+    rol esi, 5
+    dec edi
+    jnz ac_pass
+"""
+    return Workload("access", "app", wrap(body, records),
+                    "record filtering kernel (Winstone Access)")
+
+
+def powerpoint_like(scale: int = 1) -> Workload:
+    """Shape transform and clipping (Winstone PowerPoint flavour)."""
+    points = word_table("points", random_words(208, 256, 1023), org=ARENA)
+    body = f"""
+    mov edi, {12 * scale}
+pp_pass:
+    mov ebx, points
+    mov ebp, clipped
+    mov ecx, 0
+pp_loop:
+    loadx eax, [ebx+ecx*4]
+    ; scale by 3/2 and translate
+    mov edx, eax
+    shr edx, 1
+    add eax, edx
+    add eax, 37
+    ; clip to [0, 1024), branchless
+    mov edx, 1023
+    cmp eax, edx
+    cmova eax, edx
+    storex [ebp+ecx*4], eax
+    loadx edx, [ebx+ecx*4+4]  ; prefetch next point over the store
+    add esi, eax
+    xor esi, edx
+    rol esi, 1
+    inc ecx
+    cmp ecx, 255
+    jne pp_loop
+    dec edi
+    jnz pp_pass
+"""
+    data = f"{points}\nclipped:\n    .space 1040\n"
+    return Workload("powerpoint", "app", wrap(body, data),
+                    "shape transform kernel (Winstone PowerPoint)")
+
+
+def navigator_like(scale: int = 1) -> Workload:
+    """HTML-ish tokenizer: byte scanning with class lookup
+    (Winstone Navigator flavour)."""
+    # A synthetic byte stream of printable characters and brackets.
+    stream = random_words(209, 384, 0x5F)
+    text = word_table("stream", [(b % 0x5F) + 0x20 for b in stream],
+                      org=ARENA)
+    body = f"""
+    mov edi, {10 * scale}
+nv_pass:
+    mov ebx, stream
+    mov ecx, 0
+    mov edx, 0                    ; tag depth
+nv_loop:
+    loadx eax, [ebx+ecx*4]
+    and eax, 0x7F
+    cmp eax, '<'
+    jne nv_not_open
+    inc edx
+    jmp nv_advance
+nv_not_open:
+    cmp eax, '>'
+    jne nv_text
+    ; branchless saturating decrement of the depth
+    mov ebp, edx
+    dec ebp
+    cmp edx, 0
+    cmovne edx, ebp
+    jmp nv_advance
+nv_text:
+    xor esi, eax
+    rol esi, 1
+nv_advance:
+    add esi, edx
+    inc ecx
+    cmp ecx, 384
+    jne nv_loop
+    dec edi
+    jnz nv_pass
+"""
+    return Workload("navigator", "app", wrap(body, text),
+                    "tokenizer kernel (Winstone Navigator)")
+
+
+def corel_like(scale: int = 1) -> Workload:
+    """Vector-graphics path flattening (Winstone Corel flavour), with
+    path statistics on the code page — a Table-1 style mixed page."""
+    paths = word_table("paths", random_words(210, 200, 0x3FF), org=ARENA)
+    body = f"""
+    mov edi, {12 * scale}
+co_pass:
+    mov ebx, paths
+    mov ebp, flat
+    mov ecx, 0
+co_loop:
+    loadx eax, [ebx+ecx*4]        ; control point
+    loadx edx, [ebx+ecx*4+4]
+    add eax, edx
+    shr eax, 1                    ; midpoint subdivision
+    storex [ebp+ecx*4], eax
+    loadx edx, [ebx+ecx*4+8]  ; next control point over the store
+    add esi, eax
+    xor esi, edx
+    rol esi, 1
+    inc ecx
+    cmp ecx, 198
+    jne co_loop
+    ; per-pass statistics on the code page (own granule)
+    mov ebx, co_stats
+    load eax, [ebx]
+    inc eax
+    store [ebx], eax
+    dec edi
+    jnz co_pass
+    jmp co_done
+.align 64
+co_stats:
+    .word 0
+.space 60
+co_done:
+"""
+    data = f"{paths}\nflat:\n    .space 816\n"
+    return Workload("corel", "app", wrap(body, data),
+                    "path flattening kernel (Winstone Corel)")
+
+
+def winme_help_like(scale: int = 1) -> Workload:
+    """Help-viewer rendering: string search plus table walk
+    (the paper's 'WindowsME help' miscellaneous workload)."""
+    haystack = word_table(
+        "haystack", [(v % 26) + 0x61 for v in random_words(211, 512)],
+        org=ARENA)
+    body = f"""
+    mov edi, {8 * scale}
+wh_pass:
+    mov ebx, haystack
+    mov ecx, 0
+    mov edx, 0                    ; matches of the pattern 'he'
+wh_loop:
+    loadx eax, [ebx+ecx*4]
+    and eax, 0x7F
+    cmp eax, 'h'
+    jne wh_next
+    mov ebp, ecx
+    inc ebp
+    loadx eax, [ebx+ebp*4]
+    and eax, 0x7F
+    cmp eax, 'e'
+    sete eax
+    add edx, eax
+wh_next:
+    inc ecx
+    cmp ecx, 511
+    jne wh_loop
+    xor esi, edx
+    rol esi, 9
+    dec edi
+    jnz wh_pass
+"""
+    return Workload("winme_help", "app", wrap(body, haystack),
+                    "help viewer kernel (WindowsME help)")
+
+
+EXTRA_APP_FACTORIES = {
+    "espresso": espresso_like,
+    "li": li_like,
+    "spice2g6": spice_like,
+    "su2cor": su2cor_like,
+    "wave5": wave5_like,
+    "access": access_like,
+    "powerpoint": powerpoint_like,
+    "navigator": navigator_like,
+    "corel": corel_like,
+    "winme_help": winme_help_like,
+}

@@ -1,0 +1,72 @@
+"""Workload model and runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cms.config import CMSConfig
+from repro.cms.system import CodeMorphingSystem
+from repro.machine import Machine, MachineConfig
+
+
+@dataclass
+class Workload:
+    """One guest program with its machine requirements."""
+
+    name: str
+    category: str  # "boot" | "app" | "game"
+    source: str
+    description: str = ""
+    max_instructions: int = 20_000_000
+    machine_config: MachineConfig | None = None
+
+    def build_machine(self) -> tuple[Machine, int]:
+        machine = Machine(self.machine_config)
+        entry = machine.load_source(self.source)
+        return machine, entry
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running a workload under one configuration."""
+
+    workload: Workload
+    system: CodeMorphingSystem
+    halted: bool
+    guest_instructions: int
+    console_output: str
+    total_molecules: int
+    frames: int = 0
+
+    @property
+    def mpx(self) -> float:
+        """Molecules executed per guest instruction (the paper's metric)."""
+        if self.guest_instructions == 0:
+            return 0.0
+        return self.total_molecules / self.guest_instructions
+
+    def degradation_vs(self, baseline: "WorkloadResult") -> float:
+        """Relative slowdown against a baseline run (e.g. Figure 2/3)."""
+        if baseline.total_molecules == 0:
+            return 0.0
+        return (self.total_molecules - baseline.total_molecules) \
+            / baseline.total_molecules
+
+
+def run_workload(workload: Workload,
+                 config: CMSConfig | None = None) -> WorkloadResult:
+    """Run a workload to completion under the given configuration."""
+    config = config or CMSConfig()
+    machine, entry = workload.build_machine()
+    system = CodeMorphingSystem(machine, config)
+    result = system.run(entry, max_instructions=workload.max_instructions)
+    frames = machine.framebuffer.frames if machine.framebuffer else 0
+    return WorkloadResult(
+        workload=workload,
+        system=system,
+        halted=result.halted,
+        guest_instructions=result.guest_instructions,
+        console_output=result.console_output,
+        total_molecules=result.stats.total_molecules(config.cost),
+        frames=frames,
+    )

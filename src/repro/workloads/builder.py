@@ -1,0 +1,81 @@
+"""Assembly-generation helpers shared by the workload suite."""
+
+from __future__ import annotations
+
+import random
+
+STACK_TOP = 0x0007F000
+DATA_BASE = 0x00100000  # workload data arena (well above code)
+
+# Standard library routines appended to every workload: hex-printing of
+# the ESI checksum through the console port, so runs are comparable.
+RUNTIME_LIBRARY = """
+; --- standard workload runtime ---------------------------------------
+print_checksum:              ; prints ESI as 8 hex digits + newline
+    mov ecx, 8
+pc_loop:
+    rol esi, 4
+    mov eax, esi
+    and eax, 0xF
+    cmp eax, 10
+    jl pc_digit
+    add eax, 'A' - 10
+    jmp pc_emit
+pc_digit:
+    add eax, '0'
+pc_emit:
+    out 0xE9
+    dec ecx
+    jnz pc_loop
+    mov eax, 10              ; '\\n'
+    out 0xE9
+    ret
+"""
+
+
+def wrap(body: str, data: str = "", org: int = 0x1000,
+         stack: int = STACK_TOP) -> str:
+    """Wrap a workload body in the standard prologue and epilogue.
+
+    The body runs with ESP initialized and is expected to leave its
+    checksum in ESI; the wrapper prints it and halts.
+    """
+    return f"""
+.org {org:#x}
+start:
+    mov esp, {stack:#x}
+    mov esi, 0
+{body}
+    call print_checksum
+    cli
+    hlt
+{RUNTIME_LIBRARY}
+{data}
+"""
+
+
+def word_table(label: str, values, org: int | None = None) -> str:
+    """Emit a .word table, 12 values per line."""
+    lines = [f".org {org:#x}" if org is not None else "", f"{label}:"]
+    values = list(values)
+    for i in range(0, len(values), 12):
+        chunk = ", ".join(str(v & 0xFFFFFFFF) for v in values[i:i + 12])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(line for line in lines if line)
+
+
+def random_words(seed: int, count: int,
+                 limit: int = 0xFFFFFFFF) -> list[int]:
+    """Deterministic pseudo-random table contents."""
+    rng = random.Random(seed)
+    return [rng.randint(0, limit) for _ in range(count)]
+
+
+def mix_checksum(register: str = "eax") -> str:
+    """Fold a value into the running ESI checksum (xor/rotate/add mix
+    so that repeated values do not cancel out)."""
+    return f"""
+    xor esi, {register}
+    rol esi, 5
+    add esi, 0x9E3779B9
+"""

@@ -1,0 +1,227 @@
+"""Game workloads: the self-modifying-code stress cases.
+
+``quake_demo2`` models the paper's Quake benchmark: a renderer whose
+blit inner loop has its immediate fields patched before entry each
+frame (the Doom/Premiere stylized-SMC pattern, §3.6.4), game-logic
+state stored beside its own code (the self-revalidation case, §3.6.2),
+and output through the memory-mapped framebuffer with a frame-flip
+port.  Frame rate = frames retired per million molecule-equivalents.
+
+``blt_driver`` models the Windows/9X device-independent BLT driver
+(§3.6.5): one routine is rewritten among N precompiled variants and
+translation groups should reactivate old versions instead of
+retranslating.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.builder import (
+    DATA_BASE,
+    RUNTIME_LIBRARY,
+    STACK_TOP,
+    random_words,
+    word_table,
+)
+
+FRAMEBUFFER = 0xA0000
+
+
+def quake_demo2(scale: int = 1, frames: int | None = None) -> Workload:
+    # Long enough that the one-time SMC adaptation cost (stylized
+    # retranslation, revalidation flagging) amortizes, as it does over
+    # the paper's minutes-long demo run.
+    frames = frames if frames is not None else 60 * scale
+    texture = word_table("texture", random_words(42, 64, 0xFF),
+                         org=DATA_BASE)
+    source = f"""
+.org 0x1000
+start:
+    mov esp, {STACK_TOP:#x}
+    mov esi, 0
+    mov edi, 0                 ; frame counter
+
+frame_loop:
+    ; ---- per-frame setup: patch the blit kernel's immediates ---------
+    mov eax, edi
+    imul eax, 0x01010101
+    and eax, 0x3F3F3F3F
+    mov ebx, color_site + 2    ; imm32 field of 'add edx, COLOR'
+    store [ebx], eax
+    mov eax, edi
+    and eax, 7
+    mov ebx, bias_site + 2     ; imm32 field of 'xor edx, BIAS'
+    store [ebx], eax
+
+    ; ---- game logic: entity state lives beside its own code ----------
+    call update_entities
+
+    ; ---- render 4 spans of 64 texels into the RAM back buffer --------
+    mov ebp, 0                 ; span
+span_loop:
+    mov ecx, 0
+    mov ebx, 0
+texel_loop:
+    loadx edx, [ebx+ecx*4+texture]
+color_site:
+    add edx, 0x10101010        ; immediate patched every frame
+bias_site:
+    xor edx, 0x00000000        ; immediate patched every frame
+    mov eax, ebp
+    shl eax, 6
+    add eax, ecx
+    mov ebx, backbuf
+    storebx [ebx+eax*1], edx
+    mov ebx, 0
+    inc ecx
+    cmp ecx, 64
+    jne texel_loop
+    inc ebp
+    cmp ebp, 4
+    jne span_loop
+
+    ; ---- blit the back buffer to the memory-mapped framebuffer -------
+    mov ecx, 0
+    mov ebp, {FRAMEBUFFER:#x}
+    mov ebx, backbuf
+blit_loop:
+    loadbx eax, [ebx+ecx*1]
+    storebx [ebp+ecx*1], eax
+    add esi, eax
+    inc ecx
+    cmp ecx, 256
+    jne blit_loop
+    mov eax, 1
+    out 0xF0                   ; frame flip
+
+    inc edi
+    cmp edi, {frames}
+    jne frame_loop
+
+    call print_checksum
+    cli
+    hlt
+
+; Game logic whose working state shares granules with its code: the
+; per-frame stores here are the paper's "data stores in the same region
+; as code" (§3.6.2).
+update_entities:
+    mov ebx, entity_state
+    mov ecx, 0
+ent_loop:
+    loadx eax, [ebx+ecx*4]
+    add eax, ecx
+    rol eax, 1
+    storex [ebx+ecx*4], eax
+    xor esi, eax
+    inc ecx
+    cmp ecx, 4
+    jne ent_loop
+    ret
+.align 64
+entity_state:                  ; same page as the code, own granule
+    .word 1, 2, 3, 4
+
+{RUNTIME_LIBRARY}
+
+{texture}
+backbuf:
+    .space 256
+"""
+    return Workload("quake_demo2", "game", source,
+                    "self-modifying software renderer (Quake Demo2)")
+
+
+def blt_driver(scale: int = 1, versions: int = 8) -> Workload:
+    """Multi-version blitter: §3.6.5's translation-group workload.
+
+    ``versions`` precompiled variants of the inner operation are copied
+    over the live routine in rotation; each variant is then executed
+    hot.  The paper saw up to 33 versions in the Windows/9X BLT driver.
+    """
+    # Variant bodies: op over (eax, edx) — all RR-format, same length.
+    ops = ["add", "sub", "xor", "or", "and", "adc", "sbb", "imul"]
+    variant_blobs = []
+    for v in range(versions):
+        op = ops[v % len(ops)]
+        variant_blobs.append(f"""
+variant_{v}:
+    {op} eax, edx
+    rol eax, {v % 7 + 1}
+    ret
+""")
+    variants = "\n".join(variant_blobs)
+    rounds = 18 * scale
+
+    source = f"""
+.org 0x1000
+VARIANT_LEN = 6               ; {ops[0]} (2) + rol (3) + ret (1)
+start:
+    mov esp, {STACK_TOP:#x}
+    mov esi, 0
+    mov edi, 0                 ; round counter
+
+round_loop:
+    ; ---- select and install the variant for this round ----------------
+    mov eax, edi
+    mov edx, 0
+    mov ecx, {versions}
+    div ecx                    ; edx = round % versions
+    mov eax, edx
+    imul eax, VARIANT_LEN
+    add eax, variant_0         ; source of this variant's bytes
+    ; copy VARIANT_LEN bytes over the live routine
+    mov ecx, 0
+install_loop:
+    mov ebx, eax
+    add ebx, ecx
+    loadb edx, [ebx]
+    mov ebx, blt_op
+    add ebx, ecx
+    storeb [ebx], edx
+    inc ecx
+    cmp ecx, VARIANT_LEN
+    jne install_loop
+
+    ; ---- run the blit hot with the installed operation -----------------
+    mov ebp, 0
+    mov ebx, 0
+blt_loop:
+    loadx eax, [ebx+ebp*4+blt_src]
+    mov edx, ebp
+    call blt_op
+    xor esi, eax
+    rol esi, 1
+    inc ebp
+    cmp ebp, 96
+    jne blt_loop
+
+    inc edi
+    cmp edi, {rounds}
+    jne round_loop
+
+    call print_checksum
+    cli
+    hlt
+
+.align 64
+blt_op:                        ; the rewritten routine (one variant long)
+    add eax, edx
+    rol eax, 1
+    ret
+.space 16
+
+{variants}
+
+{RUNTIME_LIBRARY}
+
+{word_table("blt_src", random_words(77, 96), org=DATA_BASE)}
+"""
+    return Workload("blt_driver", "game", source,
+                    "multi-version BLT driver (translation groups)")
+
+
+GAME_FACTORIES = {
+    "quake_demo2": quake_demo2,
+    "blt_driver": blt_driver,
+}

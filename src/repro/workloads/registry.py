@@ -1,0 +1,59 @@
+"""Workload registry.
+
+Mirrors the paper's Appendix A benchmark list with this reproduction's
+synthetic equivalents.  ``REPRO_SCALE`` (environment variable, default
+1) multiplies workload iteration counts for longer, steadier runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.workloads.apps import APP_FACTORIES
+from repro.workloads.apps2 import EXTRA_APP_FACTORIES
+from repro.workloads.base import Workload
+from repro.workloads.boots import make_all_boots
+from repro.workloads.games import GAME_FACTORIES
+
+
+def _scale() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def build_all(scale: int | None = None) -> dict[str, Workload]:
+    scale = scale if scale is not None else _scale()
+    workloads: dict[str, Workload] = {}
+    workloads.update(make_all_boots())
+    for name, factory in APP_FACTORIES.items():
+        workloads[name] = factory(scale)
+    for name, factory in EXTRA_APP_FACTORIES.items():
+        workloads[name] = factory(scale)
+    for name, factory in GAME_FACTORIES.items():
+        workloads[name] = factory(scale)
+    return workloads
+
+
+ALL_WORKLOADS = build_all()
+BOOT_WORKLOADS = {name: w for name, w in ALL_WORKLOADS.items()
+                  if w.category == "boot"}
+APP_WORKLOADS = {name: w for name, w in ALL_WORKLOADS.items()
+                 if w.category == "app"}
+GAME_WORKLOADS = {name: w for name, w in ALL_WORKLOADS.items()
+                  if w.category == "game"}
+
+
+def get_workload(name: str, scale: int | None = None) -> Workload:
+    if scale is None:
+        workload = ALL_WORKLOADS.get(name)
+        if workload is None:
+            raise KeyError(f"unknown workload {name!r}; "
+                           f"known: {sorted(ALL_WORKLOADS)}")
+        return workload
+    return build_all(scale)[name]
+
+
+def workload_names() -> list[str]:
+    return sorted(ALL_WORKLOADS)

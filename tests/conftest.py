@@ -1,0 +1,96 @@
+"""Shared test helpers.
+
+The central correctness instrument is ``run_both``: execute the same
+program on the pure interpreter (the reference) and under full CMS, and
+compare architectural outcomes.  For deterministic workloads (no
+asynchronous interrupts or DMA races) the comparison is exact: final
+registers, flags, console output, and RAM contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import CMSConfig, CodeMorphingSystem, Machine, run_reference
+from repro.machine import MachineConfig
+
+
+@dataclass
+class BothResults:
+    ref_system: CodeMorphingSystem
+    cms_system: CodeMorphingSystem
+    ref_result: object
+    cms_result: object
+
+    @property
+    def ref_machine(self) -> Machine:
+        return self.ref_system.machine
+
+    @property
+    def cms_machine(self) -> Machine:
+        return self.cms_system.machine
+
+
+def build_machine(machine_config: MachineConfig | None = None) -> Machine:
+    return Machine(machine_config)
+
+
+def run_cms(source: str, config: CMSConfig | None = None,
+            machine_config: MachineConfig | None = None,
+            max_instructions: int = 5_000_000):
+    machine = Machine(machine_config)
+    entry = machine.load_source(source)
+    system = CodeMorphingSystem(machine, config or CMSConfig())
+    result = system.run(entry, max_instructions=max_instructions)
+    return system, result
+
+
+def run_both(source: str, config: CMSConfig | None = None,
+             machine_config: MachineConfig | None = None,
+             max_instructions: int = 5_000_000) -> BothResults:
+    ref_machine = Machine(machine_config)
+    ref_entry = ref_machine.load_source(source)
+    ref_system = CodeMorphingSystem(
+        ref_machine, (config or CMSConfig()).interpreter_only()
+    )
+    ref_result = ref_system.run(ref_entry, max_instructions=max_instructions)
+
+    cms_machine = Machine(machine_config)
+    cms_entry = cms_machine.load_source(source)
+    cms_system = CodeMorphingSystem(cms_machine, config or CMSConfig())
+    cms_result = cms_system.run(cms_entry, max_instructions=max_instructions)
+    return BothResults(ref_system, cms_system, ref_result, cms_result)
+
+
+def assert_equivalent(source: str, config: CMSConfig | None = None,
+                      machine_config: MachineConfig | None = None,
+                      max_instructions: int = 5_000_000,
+                      compare_ram: bool = True) -> BothResults:
+    """Run both engines and assert exact architectural equivalence."""
+    both = run_both(source, config, machine_config, max_instructions)
+    assert both.ref_result.halted, "reference run did not halt"
+    assert both.cms_result.halted, "CMS run did not halt"
+    assert both.cms_result.console_output == \
+        both.ref_result.console_output, "console output diverged"
+    ref_state = both.ref_system.state.snapshot()
+    cms_state = both.cms_system.state.snapshot()
+    assert cms_state == ref_state, (
+        f"architectural state diverged:\n"
+        f"  ref {both.ref_system.state.describe()}\n"
+        f"  cms {both.cms_system.state.describe()}"
+    )
+    if compare_ram:
+        ref_ram = both.ref_machine.ram.read_bytes(0, both.ref_machine.ram.size)
+        cms_ram = both.cms_machine.ram.read_bytes(0, both.cms_machine.ram.size)
+        if ref_ram != cms_ram:
+            diffs = [i for i in range(len(ref_ram))
+                     if ref_ram[i] != cms_ram[i]][:16]
+            raise AssertionError(f"RAM diverged at {[hex(d) for d in diffs]}")
+    return both
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine()

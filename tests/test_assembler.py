@@ -1,0 +1,189 @@
+"""Tests for the two-pass assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.decoder import BytesFetcher, decode
+from repro.isa.opcodes import Op
+
+
+def decode_at(program, addr):
+    return decode(BytesFetcher(program.flatten(), base=0), addr)
+
+
+class TestLabelsAndOrg:
+    def test_entry_defaults_to_start(self):
+        program = assemble("nop\nstart:\n  hlt\n")
+        assert program.entry == program.symbols["start"]
+
+    def test_org_moves_location(self):
+        program = assemble(".org 0x2000\nstart: nop\n")
+        assert program.symbols["start"] == 0x2000
+
+    def test_explicit_entry(self):
+        program = assemble(".entry main\nmain: nop\n")
+        assert program.entry == program.symbols["main"]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a: nop\na: nop\n")
+
+    def test_label_and_instruction_same_line(self):
+        program = assemble("start: mov eax, 1\n")
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.MOV_RI
+
+    def test_multiple_segments(self):
+        program = assemble(".org 0x100\nnop\n.org 0x300\nhlt\n")
+        assert len(program.segments) == 2
+        image = program.flatten()
+        assert image[0x100] == Op.NOP
+        assert image[0x300] == Op.HLT
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        program = assemble("X = 10\nY = X + 5\nstart: mov eax, Y - 1\n")
+        instr = decode_at(program, program.entry)
+        assert instr.imm == 14
+
+    def test_hex_binary_char(self):
+        program = assemble("start: mov eax, 0x10 + 0b11 + 'A'\n")
+        instr = decode_at(program, program.entry)
+        assert instr.imm == 0x10 + 3 + 65
+
+    def test_forward_reference(self):
+        program = assemble("start: mov eax, later\nlater: hlt\n")
+        instr = decode_at(program, program.entry)
+        assert instr.imm == program.symbols["later"]
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblyError):
+            assemble("start: mov eax, nosuch\n")
+
+
+class TestDirectives:
+    def test_word_data(self):
+        program = assemble(".org 0\nd: .word 1, 2, 0xFFFFFFFF\n")
+        image = program.flatten()
+        assert image[0:4] == (1).to_bytes(4, "little")
+        assert image[8:12] == b"\xff\xff\xff\xff"
+
+    def test_byte_and_string(self):
+        program = assemble('.org 0\n.byte 1, "AB", 3\n')
+        assert bytes(program.flatten()[0:4]) == bytes([1, 65, 66, 3])
+
+    def test_asciz_appends_nul(self):
+        program = assemble('.org 0\n.asciz "hi"\n')
+        assert bytes(program.flatten()[0:3]) == b"hi\x00"
+
+    def test_space_with_fill(self):
+        program = assemble(".org 0\n.space 4, 0xAA\n")
+        assert bytes(program.flatten()[0:4]) == b"\xaa" * 4
+
+    def test_align(self):
+        program = assemble(".org 1\nnop\n.align 8\nx: hlt\n")
+        assert program.symbols["x"] % 8 == 0
+
+    def test_align_requires_power_of_two(self):
+        with pytest.raises(AssemblyError):
+            assemble(".align 3\n")
+
+    def test_escape_sequences(self):
+        program = assemble('.org 0\n.ascii "a\\n\\x41"\n')
+        assert bytes(program.flatten()[0:3]) == b"a\nA"
+
+
+class TestInstructions:
+    def test_mov_forms(self):
+        program = assemble("start: mov eax, ebx\nmov ecx, 7\n")
+        first = decode_at(program, program.entry)
+        assert first.op is Op.MOV_RR and first.r1 == 0 and first.r2 == 3
+        second = decode_at(program, first.next_addr)
+        assert second.op is Op.MOV_RI and second.imm == 7
+
+    def test_memory_operand_forms(self):
+        src = """
+        start:
+            load eax, [ebx]
+            load eax, [ebx+4]
+            load eax, [ebx-4]
+            load eax, [ebx+ecx*2]
+            load eax, [ebx+ecx*4+16]
+            storeb [esi+1], al_reg
+        al_reg = 0
+        """
+        # "al_reg" is a symbol, not a register: storeb needs a register.
+        with pytest.raises(AssemblyError):
+            assemble(src)
+
+    def test_indexed_load_encoding(self):
+        program = assemble("start: load edi, [ebp+esi*8-12]\n")
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.LOADX
+        assert (instr.r1, instr.r2, instr.index, instr.scale_log2,
+                instr.disp) == (7, 5, 6, 3, -12)
+
+    def test_store_immediate(self):
+        program = assemble("start: storei [ebx+8], 0x1234\n")
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.STOREI
+        assert instr.imm == 0x1234 and instr.disp == 8
+
+    def test_shift_forms(self):
+        program = assemble("start: shl eax, 3\nshr ebx, cl\n")
+        first = decode_at(program, program.entry)
+        assert first.op is Op.SHL_RI8 and first.imm == 3
+        second = decode_at(program, first.next_addr)
+        assert second.op is Op.SHR_RCL and second.r1 == 3
+
+    def test_branch_aliases(self):
+        program = assemble("start: jz start\njnz start\njc start\n")
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.JE
+
+    def test_relative_branch_backward(self):
+        program = assemble("start: nop\nloop: dec eax\njnz loop\n")
+        jnz_addr = program.symbols["loop"] + 2
+        instr = decode_at(program, jnz_addr)
+        assert instr.branch_target == program.symbols["loop"]
+
+    def test_jmp_register(self):
+        program = assemble("start: jmp eax\n")
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.JMP_R
+
+    def test_push_forms(self):
+        program = assemble("start: push eax\npush 99\n")
+        first = decode_at(program, program.entry)
+        assert first.op is Op.PUSH_R
+        second = decode_at(program, first.next_addr)
+        assert second.op is Op.PUSH_I and second.imm == 99
+
+    def test_io_and_system(self):
+        program = assemble("start: in 0x40\nout 0xE9\nint 3\nsti\ncli\n"
+                           "iret\nsetpt eax\npgon\npgoff\nhlt\n")
+        ops = []
+        addr = program.entry
+        for _ in range(10):
+            instr = decode_at(program, addr)
+            ops.append(instr.op)
+            addr = instr.next_addr
+        assert ops == [Op.IN, Op.OUT, Op.INT, Op.STI, Op.CLI, Op.IRET,
+                       Op.SETPT, Op.PGON, Op.PGOFF, Op.HLT]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("start: frobnicate eax\n")
+
+    def test_comment_styles(self):
+        program = assemble("start: nop ; semicolon\nnop # hash\n")
+        assert len(program.flatten()) >= 2
+
+    def test_explicit_indexed_aliases(self):
+        program = assemble("start: loadx eax, [ebx+ecx*4]\n"
+                           "storex [ebx+ecx*4], eax\n")
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.LOADX

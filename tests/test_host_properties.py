@@ -1,0 +1,101 @@
+"""Property-based tests for the host hardware models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.host.alias import AliasHardware
+from repro.host.store_buffer import GatedStoreBuffer
+from repro.machine import Machine
+
+ADDR = st.integers(min_value=0x1000, max_value=0x1100)
+VALUE32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+SIZE = st.sampled_from([1, 4])
+
+
+@st.composite
+def store_sequences(draw):
+    count = draw(st.integers(min_value=1, max_value=24))
+    return [
+        (draw(ADDR), draw(VALUE32), draw(SIZE))
+        for _ in range(count)
+    ]
+
+
+class TestStoreBufferProperties:
+    @given(store_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_forwarding_matches_drain_result(self, stores):
+        """Reading through the buffer must equal memory after a drain."""
+        machine = Machine()
+        buffer = GatedStoreBuffer(capacity=64)
+        for addr, value, size in stores:
+            buffer.write(addr, value, size, is_io=False)
+        forwarded = {
+            addr: buffer.forward(addr, 4, machine.bus.read(addr, 4))
+            for addr in range(0x1000, 0x1104, 4)
+        }
+        buffer.drain(machine.bus)
+        for addr, expected in forwarded.items():
+            assert machine.bus.read(addr, 4) == expected
+
+    @given(store_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_drop_leaves_memory_untouched(self, stores):
+        machine = Machine()
+        buffer = GatedStoreBuffer(capacity=64)
+        for addr, value, size in stores:
+            buffer.write(addr, value, size, is_io=False)
+        buffer.drop()
+        for addr in range(0x1000, 0x1104, 4):
+            assert machine.bus.read(addr, 4) == 0
+
+    @given(store_sequences(), store_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_commit_then_more_stores(self, first, second):
+        """Drain/refill cycles behave like sequential memory writes."""
+        machine = Machine()
+        reference = Machine()
+        buffer = GatedStoreBuffer(capacity=64)
+        for addr, value, size in first:
+            buffer.write(addr, value, size, is_io=False)
+            reference.bus.write(addr, value, size)
+        buffer.drain(machine.bus)
+        for addr, value, size in second:
+            buffer.write(addr, value, size, is_io=False)
+            reference.bus.write(addr, value, size)
+        buffer.drain(machine.bus)
+        for addr in range(0x1000, 0x1104, 4):
+            assert machine.bus.read(addr, 4) == reference.bus.read(addr, 4)
+
+
+class TestAliasProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7), ADDR, SIZE),
+            min_size=1, max_size=8,
+        ),
+        ADDR,
+        SIZE,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_check_detects_exactly_overlaps(self, records, store_addr,
+                                            store_size):
+        alias = AliasHardware(8)
+        latest: dict[int, tuple[int, int]] = {}
+        for entry, addr, size in records:
+            alias.record(entry, addr, size)
+            latest[entry] = (addr, size)
+        overlap_expected = any(
+            store_addr < addr + size and addr < store_addr + store_size
+            for addr, size in latest.values()
+        )
+        hit = alias.check(0xFF, store_addr, store_size)
+        assert (hit is not None) == overlap_expected
+
+    @given(ADDR, SIZE)
+    @settings(max_examples=30, deadline=None)
+    def test_unchecked_entries_never_fault(self, addr, size):
+        alias = AliasHardware(8)
+        alias.record(0, addr, size)
+        assert alias.check(0b10, addr, size) is None  # mask excludes 0

@@ -1,0 +1,166 @@
+"""Encoder/decoder roundtrip and opcode-table invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decoder import BytesFetcher, decode
+from repro.isa.encoder import (
+    displacement_field_offset,
+    encode,
+    immediate_field_offset,
+)
+from repro.isa.exceptions import GuestException
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, Op, OPCODE_TABLE, op_info
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    data = encode(instr)
+    assert len(data) == instr.length
+    return decode(BytesFetcher(data, base=0x1000), 0x1000)
+
+
+class TestOpcodeTable:
+    def test_all_ops_have_info(self):
+        for op in Op:
+            assert op in OPCODE_TABLE
+
+    def test_lengths_match_formats(self):
+        for info in OPCODE_TABLE.values():
+            assert info.length == info.fmt.length
+
+    def test_jcc_block_is_contiguous(self):
+        for value in range(Op.JO, Op.JG + 1):
+            assert Op(value) in OPCODE_TABLE
+            assert OPCODE_TABLE[Op(value)].fmt is Fmt.REL
+
+    def test_interp_only_ops_are_system_or_stack(self):
+        for info in OPCODE_TABLE.values():
+            if info.interp_only:
+                assert info.kind.name in ("SYSTEM", "STACK")
+
+
+REG = st.integers(min_value=0, max_value=7)
+IMM32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+IMM8 = st.integers(min_value=0, max_value=0xFF)
+DISP = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+SCALE = st.integers(min_value=0, max_value=3)
+
+
+def instruction_strategy() -> st.SearchStrategy[Instruction]:
+    def build(op_value, r1, r2, index, scale, disp, imm):
+        op = Op(op_value)
+        fmt = op_info(op).fmt
+        instr_imm = imm
+        if fmt is Fmt.RI8 or fmt is Fmt.I8:
+            instr_imm = imm & 0xFF
+        elif fmt is Fmt.I16:
+            instr_imm = imm & 0xFFFF
+        return Instruction(op, r1=r1, r2=r2, index=index, scale_log2=scale,
+                           disp=disp, imm=instr_imm, addr=0x1000)
+
+    return st.builds(
+        build,
+        st.sampled_from([op.value for op in Op]),
+        REG, REG, REG, SCALE, DISP, IMM32,
+    )
+
+
+class TestRoundtrip:
+    @given(instruction_strategy())
+    def test_encode_decode_identity(self, instr):
+        decoded = roundtrip(instr)
+        assert decoded.op == instr.op
+        fmt = instr.info.fmt
+        if fmt in (Fmt.R, Fmt.RR, Fmt.RI, Fmt.RI8, Fmt.RM, Fmt.MR,
+                   Fmt.RMX, Fmt.MRX):
+            assert decoded.r1 == instr.r1
+        if fmt in (Fmt.RR, Fmt.RM, Fmt.MR, Fmt.RMX, Fmt.MRX, Fmt.MI):
+            assert decoded.r2 == instr.r2
+        if fmt in (Fmt.RMX, Fmt.MRX):
+            assert decoded.index == instr.index
+            assert decoded.scale_log2 == instr.scale_log2
+        if fmt in (Fmt.RM, Fmt.MR, Fmt.RMX, Fmt.MRX, Fmt.MI, Fmt.REL):
+            assert decoded.disp == instr.disp
+        if fmt in (Fmt.RI, Fmt.RI8, Fmt.MI, Fmt.I32, Fmt.I16, Fmt.I8):
+            assert decoded.imm == instr.imm
+
+    def test_specific_encoding_stability(self):
+        # The byte encoding is a stable contract (SMC tests patch bytes
+        # at fixed offsets); pin a few examples.
+        mov = Instruction(Op.MOV_RI, r1=0, imm=0x12345678)
+        assert encode(mov) == bytes([0x11, 0x00, 0x78, 0x56, 0x34, 0x12])
+        store = Instruction(Op.STORE, r1=1, r2=3, disp=8)
+        assert encode(store) == bytes([0x13, 0x31, 0x08, 0x00, 0x00, 0x00])
+        jne = Instruction(Op.JNE, disp=-10)
+        assert encode(jne) == bytes([0x75, 0xF6, 0xFF, 0xFF, 0xFF])
+
+
+class TestDecodeErrors:
+    def test_invalid_opcode_raises_ud(self):
+        with pytest.raises(GuestException) as excinfo:
+            decode(BytesFetcher(bytes([0xFF, 0x00])), 0)
+        assert excinfo.value.vector == 6
+
+    def test_bad_register_raises_ud(self):
+        # RR byte with register 9 in the source nibble.
+        with pytest.raises(GuestException):
+            decode(BytesFetcher(bytes([Op.MOV_RR, 0x09 | 0x80])), 0)
+
+    def test_bad_scale_raises_ud(self):
+        data = bytes([Op.LOADX, 0x00, 0x0F, 0, 0, 0, 0])
+        with pytest.raises(GuestException):
+            decode(BytesFetcher(data), 0)
+
+
+class TestFieldOffsets:
+    def test_mov_ri_immediate_offset(self):
+        instr = Instruction(Op.MOV_RI, r1=0, imm=5, addr=0)
+        offset = immediate_field_offset(instr)
+        data = encode(instr)
+        assert data[offset:offset + 4] == (5).to_bytes(4, "little")
+
+    def test_storei_immediate_offset(self):
+        instr = Instruction(Op.STOREI, r2=3, disp=4, imm=0xAABBCCDD, addr=0)
+        offset = immediate_field_offset(instr)
+        data = encode(instr)
+        assert data[offset:offset + 4] == bytes([0xDD, 0xCC, 0xBB, 0xAA])
+
+    def test_no_immediate_for_rr(self):
+        instr = Instruction(Op.ADD_RR, r1=0, r2=1, addr=0)
+        assert immediate_field_offset(instr) is None
+
+    def test_displacement_offset_for_load(self):
+        instr = Instruction(Op.LOAD, r1=0, r2=1, disp=-4, addr=0)
+        offset = displacement_field_offset(instr)
+        data = encode(instr)
+        assert data[offset:offset + 4] == (-4).to_bytes(4, "little",
+                                                        signed=True)
+
+
+class TestInstructionModel:
+    def test_branch_target(self):
+        instr = Instruction(Op.JMP, disp=0x10, addr=0x1000)
+        assert instr.branch_target == 0x1000 + 5 + 0x10
+
+    def test_regs_read_written_mul(self):
+        instr = Instruction(Op.MUL_R, r1=3, addr=0)
+        assert {0, 2, 3} <= set(instr.regs_read())
+        assert {0, 2} <= set(instr.regs_written())
+
+    def test_push_reads_esp(self):
+        instr = Instruction(Op.PUSH_R, r1=0, addr=0)
+        assert 4 in instr.regs_read()
+        assert 4 in instr.regs_written()
+
+    def test_store_is_memory(self):
+        instr = Instruction(Op.STORE, r1=0, r2=1, addr=0)
+        assert instr.is_memory and instr.is_store and not instr.is_load
+
+    def test_format_smoke(self):
+        instr = Instruction(Op.LOADX, r1=1, r2=3, index=2, scale_log2=2,
+                            disp=8, addr=0)
+        text = str(instr)
+        assert "loadx" in text and "edx*4" in text

@@ -1,0 +1,214 @@
+"""Unit tests for the EFLAGS reference helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import flags as fl
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestParity:
+    def test_even_parity_of_zero(self):
+        assert fl.parity(0) == 1
+
+    def test_single_bit_is_odd(self):
+        assert fl.parity(1) == 0
+        assert fl.parity(0x80) == 0
+
+    def test_two_bits_even(self):
+        assert fl.parity(0x03) == 1
+        assert fl.parity(0x81) == 1
+
+    def test_only_low_byte_counts(self):
+        assert fl.parity(0xFFFFFF00) == fl.parity(0)
+
+    @given(U32)
+    def test_matches_bin_count(self, value):
+        expected = 1 if bin(value & 0xFF).count("1") % 2 == 0 else 0
+        assert fl.parity(value) == expected
+
+
+class TestAdd:
+    def test_simple_add_no_flags(self):
+        result, flags = fl.flags_add(1, 2)
+        assert result == 3
+        assert not flags & (fl.CF | fl.ZF | fl.SF | fl.OF)
+
+    def test_carry_out(self):
+        result, flags = fl.flags_add(0xFFFFFFFF, 1)
+        assert result == 0
+        assert flags & fl.CF
+        assert flags & fl.ZF
+
+    def test_signed_overflow_positive(self):
+        result, flags = fl.flags_add(0x7FFFFFFF, 1)
+        assert result == 0x80000000
+        assert flags & fl.OF
+        assert flags & fl.SF
+        assert not flags & fl.CF
+
+    def test_signed_overflow_negative(self):
+        _, flags = fl.flags_add(0x80000000, 0x80000000)
+        assert flags & fl.OF
+        assert flags & fl.CF
+
+    def test_carry_in(self):
+        result, flags = fl.flags_add(0xFFFFFFFF, 0, carry_in=1)
+        assert result == 0
+        assert flags & fl.CF
+
+    @given(U32, U32)
+    def test_result_is_mod_2_32(self, a, b):
+        result, _ = fl.flags_add(a, b)
+        assert result == (a + b) & 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_cf_is_unsigned_overflow(self, a, b):
+        _, flags = fl.flags_add(a, b)
+        assert bool(flags & fl.CF) == (a + b > 0xFFFFFFFF)
+
+
+class TestSub:
+    def test_borrow(self):
+        result, flags = fl.flags_sub(0, 1)
+        assert result == 0xFFFFFFFF
+        assert flags & fl.CF
+        assert flags & fl.SF
+
+    def test_equal_sets_zf(self):
+        _, flags = fl.flags_sub(7, 7)
+        assert flags & fl.ZF
+        assert not flags & fl.CF
+
+    def test_signed_overflow(self):
+        _, flags = fl.flags_sub(0x80000000, 1)
+        assert flags & fl.OF
+
+    @given(U32, U32)
+    def test_cf_is_unsigned_borrow(self, a, b):
+        _, flags = fl.flags_sub(a, b)
+        assert bool(flags & fl.CF) == (a < b)
+
+    @given(U32, U32)
+    def test_zf_iff_equal(self, a, b):
+        _, flags = fl.flags_sub(a, b)
+        assert bool(flags & fl.ZF) == (a == b)
+
+
+class TestLogic:
+    def test_clears_cf_of(self):
+        _, flags = fl.flags_logic(0xFFFFFFFF)
+        assert not flags & fl.CF
+        assert not flags & fl.OF
+        assert flags & fl.SF
+
+    def test_zero_result(self):
+        _, flags = fl.flags_logic(0)
+        assert flags & fl.ZF
+
+
+class TestIncDec:
+    def test_inc_preserves_cf_mask(self):
+        _, _, mask = fl.flags_inc(0)
+        assert not mask & fl.CF
+
+    def test_inc_overflow_at_sign_boundary(self):
+        result, flags, _ = fl.flags_inc(0x7FFFFFFF)
+        assert result == 0x80000000
+        assert flags & fl.OF
+
+    def test_dec_overflow(self):
+        result, flags, _ = fl.flags_dec(0x80000000)
+        assert result == 0x7FFFFFFF
+        assert flags & fl.OF
+
+    def test_dec_to_zero(self):
+        result, flags, _ = fl.flags_dec(1)
+        assert result == 0
+        assert flags & fl.ZF
+
+
+class TestShifts:
+    def test_shl_carry(self):
+        result, flags, mask = fl.flags_shl(0x80000000, 1)
+        assert result == 0
+        assert flags & fl.CF
+        assert flags & fl.ZF
+        assert mask == fl.ARITH_FLAGS
+
+    def test_shl_zero_count_defines_nothing(self):
+        result, flags, mask = fl.flags_shl(123, 0)
+        assert result == 123
+        assert mask == 0
+
+    def test_shl_count_masked(self):
+        result, _, mask = fl.flags_shl(1, 32)
+        assert result == 1  # count 32 & 31 == 0
+        assert mask == 0
+
+    def test_shr_carry_from_lsb(self):
+        result, flags, _ = fl.flags_shr(0b11, 1)
+        assert result == 1
+        assert flags & fl.CF
+
+    def test_sar_preserves_sign(self):
+        result, _, _ = fl.flags_sar(0x80000000, 4)
+        assert result == 0xF8000000
+
+    def test_sar_positive(self):
+        result, _, _ = fl.flags_sar(0x40000000, 4)
+        assert result == 0x04000000
+
+    def test_rol_wraps(self):
+        result, flags, mask = fl.flags_rol(0x80000001, 1)
+        assert result == 0x00000003
+        assert flags & fl.CF
+        assert mask == (fl.CF | fl.OF)
+
+    def test_ror_wraps(self):
+        result, flags, _ = fl.flags_ror(1, 1)
+        assert result == 0x80000000
+        assert flags & fl.CF
+
+    @given(U32, st.integers(min_value=1, max_value=31))
+    def test_shl_matches_python(self, a, count):
+        result, _, _ = fl.flags_shl(a, count)
+        assert result == (a << count) & 0xFFFFFFFF
+
+    @given(U32, st.integers(min_value=1, max_value=31))
+    def test_shr_matches_python(self, a, count):
+        result, _, _ = fl.flags_shr(a, count)
+        assert result == a >> count
+
+
+class TestMultiply:
+    def test_mul_flags_set_when_high_nonzero(self):
+        flags = fl.flags_mul(low=0, high=1)
+        assert flags & fl.CF and flags & fl.OF
+
+    def test_mul_flags_clear_when_fits(self):
+        flags = fl.flags_mul(low=100, high=0)
+        assert not flags & fl.CF
+
+    def test_imul_overflow(self):
+        full = 0x7FFFFFFF * 2
+        flags = fl.flags_imul(full & 0xFFFFFFFF, full)
+        assert flags & fl.OF
+
+    def test_imul_negative_fits(self):
+        full = -5
+        flags = fl.flags_imul(full & 0xFFFFFFFF, full)
+        assert not flags & fl.OF
+
+
+class TestPacking:
+    def test_format_flags(self):
+        text = fl.format_flags(fl.CF | fl.ZF)
+        assert "CF" in text and "ZF" in text
+
+    def test_pzs_sign(self):
+        assert fl.pzs_flags(0x80000000) & fl.SF
+        assert fl.pzs_flags(0) & fl.ZF

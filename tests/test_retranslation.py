@@ -1,0 +1,160 @@
+"""Unit tests for the adaptive retranslation controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cms.config import CMSConfig
+from repro.cms.retranslation import MIN_REGION, AdaptiveController
+from repro.host.faults import HostFault, HostFaultKind
+
+from test_tcache import make_translation
+
+
+def make_controller(**config_overrides) -> AdaptiveController:
+    from dataclasses import replace
+
+    config = replace(CMSConfig(), **config_overrides)
+    return AdaptiveController(config)
+
+
+def fault(kind: HostFaultKind, site: int = 0x1010) -> HostFault:
+    return HostFault(kind=kind, guest_addr=site)
+
+
+class TestBasePolicy:
+    def test_base_reflects_config(self):
+        controller = make_controller(reorder_memory=False,
+                                     max_region_instructions=64)
+        policy = controller.base_policy()
+        assert not policy.reorder_memory
+        assert policy.max_instructions == 64
+
+    def test_force_self_check_propagates(self):
+        controller = make_controller(force_self_check=True)
+        assert controller.base_policy().self_check
+
+    def test_policy_for_unknown_entry_is_base(self):
+        controller = make_controller()
+        assert controller.policy_for(0x9999) == controller.base_policy()
+
+
+class TestEscalation:
+    def test_below_threshold_no_action(self):
+        controller = make_controller(fault_threshold=3)
+        t = make_translation()
+        for _ in range(2):
+            assert controller.note_fault(
+                t, fault(HostFaultKind.ALIAS_VIOLATION), None
+            ) is None
+
+    def test_alias_ladder(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        # Stage 1: pin the faulting site.
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        assert 0x1010 in policy.no_reorder_addrs
+        assert policy.reorder_memory
+        # Stage 2+: narrow the region.
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        assert policy.max_instructions < CMSConfig().max_region_instructions
+        # Keep narrowing until the floor, then disable reordering.
+        for _ in range(10):
+            policy = controller.note_fault(
+                t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+            if policy is None:
+                break
+        final = controller.policy_for(t.entry_eip)
+        assert final.max_instructions == MIN_REGION
+        assert not final.reorder_memory
+
+    def test_spec_mmio_fences_site(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.SPEC_MMIO, 0x1020), None)
+        assert 0x1020 in policy.io_fence_addrs
+
+    def test_genuine_guest_fault_narrows_then_pins(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        policy = None
+        for _ in range(12):
+            new = controller.note_fault(
+                t, fault(HostFaultKind.GUEST_FAULT, 0x1010), True)
+            policy = new or policy
+        assert policy.max_instructions == MIN_REGION
+        assert 0x1010 in policy.stop_addrs
+
+    def test_speculative_guest_fault_pins_load(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.GUEST_FAULT, 0x1010), False)
+        assert 0x1010 in policy.no_reorder_addrs
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.GUEST_FAULT, 0x1010), False)
+        assert not policy.control_speculation
+
+    def test_storebuf_overflow_shrinks_commit_interval(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.STOREBUF_OVERFLOW), None)
+        assert policy.commit_interval < CMSConfig().commit_interval
+
+    def test_protection_faults_not_handled_here(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        assert controller.note_fault(
+            t, fault(HostFaultKind.PROTECTION), None) is None
+
+    def test_disabled_adaptation_never_escalates(self):
+        controller = make_controller(adaptive_retranslation=False,
+                                     fault_threshold=1)
+        t = make_translation()
+        for _ in range(10):
+            assert controller.note_fault(
+                t, fault(HostFaultKind.ALIAS_VIOLATION), None) is None
+
+    def test_counters_are_per_site(self):
+        controller = make_controller(fault_threshold=2)
+        t = make_translation()
+        assert controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None) is None
+        assert controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1020), None) is None
+        # Second fault at the first site crosses its own threshold.
+        policy = controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        assert policy is not None
+        assert 0x1010 in policy.no_reorder_addrs
+        assert 0x1020 not in policy.no_reorder_addrs
+
+
+class TestAccumulation:
+    def test_set_policy_merges(self):
+        controller = make_controller()
+        base = controller.policy_for(0x1000)
+        controller.set_policy(0x1000, base.with_(self_check=True))
+        controller.set_policy(
+            0x1000, base.with_(no_reorder_addrs=frozenset({0x1010})))
+        accumulated = controller.policy_for(0x1000)
+        assert accumulated.self_check
+        assert 0x1010 in accumulated.no_reorder_addrs
+
+    def test_policies_monotone_under_escalation(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        seen = [controller.policy_for(t.entry_eip)]
+        kinds = [HostFaultKind.ALIAS_VIOLATION, HostFaultKind.SPEC_MMIO,
+                 HostFaultKind.STOREBUF_OVERFLOW]
+        for i in range(9):
+            controller.note_fault(
+                t, fault(kinds[i % 3], 0x1010 + i), None)
+            seen.append(controller.policy_for(t.entry_eip))
+        for earlier, later in zip(seen, seen[1:]):
+            merged = earlier.merge(later)
+            assert merged == later, "escalation must only tighten"

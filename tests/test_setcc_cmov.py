@@ -1,0 +1,193 @@
+"""Tests for the SETcc and CMOVcc instruction families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CMSConfig
+from repro.isa.assembler import assemble
+from repro.isa.decoder import BytesFetcher, decode
+from repro.isa.opcodes import Op, op_info
+
+from conftest import assert_equivalent
+from test_interpreter import run_program
+
+FAST = CMSConfig(translation_threshold=4)
+
+
+class TestEncoding:
+    def test_setcc_block_contiguous(self):
+        for value in range(Op.SETO, Op.SETG + 1):
+            info = op_info(Op(value))
+            assert info.mnemonic.startswith("set")
+            assert info.flags_read != 0
+
+    def test_cmovcc_block_contiguous(self):
+        for value in range(Op.CMOVO, Op.CMOVG + 1):
+            info = op_info(Op(value))
+            assert info.mnemonic.startswith("cmov")
+
+    def test_assembler_aliases(self):
+        program = assemble("start: setz eax\ncmovnz ebx, ecx\n")
+        fetch = BytesFetcher(program.flatten(), base=0)
+        first = decode(fetch, program.entry)
+        assert first.op is Op.SETE
+        second = decode(fetch, first.next_addr)
+        assert second.op is Op.CMOVNE
+        assert (second.r1, second.r2) == (3, 1)
+
+    def test_setcc_writes_register(self):
+        program = assemble("start: sete edi\n")
+        fetch = BytesFetcher(program.flatten(), base=0)
+        instr = decode(fetch, 0)
+        assert 7 in instr.regs_written()
+
+
+class TestInterpreterSemantics:
+    def test_sete_after_equal_cmp(self):
+        _, state, _ = run_program("""
+        start:
+            mov eax, 5
+            cmp eax, 5
+            sete ebx
+            setne ecx
+            cli
+            hlt
+        """)
+        assert state.get_reg(3) == 1
+        assert state.get_reg(1) == 0
+
+    def test_signed_unsigned_setcc(self):
+        _, state, _ = run_program("""
+        start:
+            mov eax, 0xFFFFFFFF   ; -1 signed / max unsigned
+            cmp eax, 1
+            setl ebx              ; signed: -1 < 1
+            setb ecx              ; unsigned: max !< 1
+            seta edx              ; unsigned: max > 1
+            cli
+            hlt
+        """)
+        assert state.get_reg(3) == 1
+        assert state.get_reg(1) == 0
+        assert state.get_reg(2) == 1
+
+    def test_setcc_overwrites_whole_register(self):
+        _, state, _ = run_program("""
+        start:
+            mov ebx, 0xDEADBEEF
+            cmp eax, eax
+            sete ebx
+            cli
+            hlt
+        """)
+        assert state.get_reg(3) == 1
+
+    def test_cmov_taken_and_not_taken(self):
+        _, state, _ = run_program("""
+        start:
+            mov eax, 1
+            mov ebx, 100
+            mov ecx, 200
+            cmp eax, 1
+            cmove ebx, ecx        ; taken: ebx = 200
+            cmovne ecx, eax       ; not taken: ecx stays 200
+            cli
+            hlt
+        """)
+        assert state.get_reg(3) == 200
+        assert state.get_reg(1) == 200
+
+    def test_setp_parity(self):
+        _, state, _ = run_program("""
+        start:
+            mov eax, 3            ; two bits: even parity
+            test eax, eax
+            setp ebx
+            mov eax, 1            ; one bit: odd parity
+            test eax, eax
+            setp ecx
+            cli
+            hlt
+        """)
+        assert state.get_reg(3) == 1
+        assert state.get_reg(1) == 0
+
+
+class TestTranslationEquivalence:
+    def test_branchless_abs_and_minmax(self):
+        assert_equivalent("""
+        start:
+            mov esi, 0
+            mov ecx, 0
+        loop:
+            mov eax, ecx
+            sub eax, 150          ; signed value around zero
+            ; branchless abs: edx = (eax < 0) ? -eax : eax
+            mov edx, eax
+            neg edx
+            cmp eax, 0
+            cmovl eax, edx
+            add esi, eax
+            ; branchless max against 77
+            mov ebx, 77
+            cmp eax, ebx
+            cmovg ebx, eax
+            xor esi, ebx
+            rol esi, 1
+            inc ecx
+            cmp ecx, 300
+            jne loop
+            cli
+            hlt
+        """, config=FAST)
+
+    def test_setcc_accumulation(self):
+        assert_equivalent("""
+        start:
+            mov esi, 0
+            mov ecx, 0
+        loop:
+            mov eax, ecx
+            and eax, 0xFF
+            cmp eax, 128
+            setae ebx             ; count values >= 128 (unsigned)
+            add esi, ebx
+            cmp eax, 128
+            setge edx             ; same, signed
+            add esi, edx
+            sete ebp              ; exactly 128
+            add esi, ebp
+            inc ecx
+            cmp ecx, 600
+            jne loop
+            cli
+            hlt
+        """, config=FAST)
+
+    def test_cmov_chain_flags_preserved(self):
+        assert_equivalent("""
+        start:
+            mov esi, 0
+            mov ecx, 0
+        loop:
+            mov eax, ecx
+            imul eax, 0x343FD
+            add eax, 0x269EC3
+            cmp eax, 0
+            ; a chain of cmovs all reading the same flags
+            mov ebx, 1
+            mov edx, 2
+            cmovs ebx, edx
+            cmovns edx, ebx
+            setp ebp
+            add esi, ebx
+            xor esi, edx
+            add esi, ebp
+            rol esi, 3
+            inc ecx
+            cmp ecx, 400
+            jne loop
+            cli
+            hlt
+        """, config=FAST)

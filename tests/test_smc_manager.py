@@ -1,0 +1,252 @@
+"""Unit tests for the SMC manager's triage and protection bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.groups import TranslationGroups
+from repro.cache.tcache import TranslationCache
+from repro.cms.config import CMSConfig
+from repro.cms.retranslation import AdaptiveController
+from repro.cms.smc import SMCManager
+from repro.cms.stats import CMSStats
+from repro.host.faults import HostFault, HostFaultKind
+from repro.machine import Machine
+from repro.memory.finegrain import FineGrainCache, GRANULE_SIZE
+from repro.memory.physical import PAGE_SIZE, page_of
+from repro.memory.protection import ProtectionMap, StoreClass
+from repro.translator.policies import TranslationPolicy
+
+from test_tcache import make_translation
+
+
+def make_manager(fine_grain=True, **config_overrides):
+    from dataclasses import replace
+
+    config = replace(CMSConfig(), fine_grain_protection=fine_grain,
+                     **config_overrides)
+    machine = Machine()
+    tcache = TranslationCache()
+    groups = TranslationGroups()
+    protection = ProtectionMap(
+        FineGrainCache(config.fine_grain_entries) if fine_grain else None,
+        fine_grain_enabled=fine_grain,
+    )
+    stats = CMSStats()
+    controller = AdaptiveController(config)
+    manager = SMCManager(config, tcache, groups, protection, machine,
+                         stats, controller)
+    return manager
+
+
+def protection_fault(paddr: int, store_class: StoreClass,
+                     size: int = 4) -> HostFault:
+    return HostFault(kind=HostFaultKind.PROTECTION, paddr=paddr,
+                     store_class=store_class, page=page_of(paddr),
+                     access_size=size)
+
+
+class TestProtectionLifecycle:
+    def test_protect_translation_covers_ranges(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        assert manager.protection.is_protected(1)
+
+    def test_self_check_translations_left_unprotected(self):
+        manager = make_manager()
+        t = make_translation(policy=TranslationPolicy(self_check=True))
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        assert not manager.protection.is_protected(1)
+
+    def test_recompute_page_after_removal(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.tcache.invalidate_translation(t)
+        manager.recompute_page(1)
+        assert not manager.protection.is_protected(1)
+
+    def test_recompute_merges_multiple_translations(self):
+        manager = make_manager()
+        a = make_translation(entry=0x1000, length=32)
+        b = make_translation(entry=0x1800, length=32)
+        for t in (a, b):
+            manager.tcache.insert(t)
+            manager.protect_translation(t)
+        manager.recompute_page(1)
+        mask = manager.protection.page_mask(1)
+        assert mask & (1 << 0)  # granule of 0x1000
+        assert mask & (1 << (0x800 // GRANULE_SIZE))
+
+
+class TestInlineService:
+    def test_fg_miss_filled_and_retried(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        served = manager.service_inline(
+            protection_fault(0x1800, StoreClass.FAULT_MISS))
+        assert served
+        assert manager.stats.fg_miss_services == 1
+        # The retried check now passes for a data granule.
+        check = manager.protection.check_store(0x1800, 4)
+        assert not check.faults
+
+    def test_spurious_with_prologue_arms(self):
+        manager = make_manager()
+        t = make_translation(
+            entry=0x1000, length=32,
+            policy=TranslationPolicy(self_revalidate=True),
+        )
+        t.prologue_label = "prologue"
+        t.labels["prologue"] = 0
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.protection.handle_miss(1)
+        # Store to the tail of the code granule, beyond the code bytes.
+        served = manager.service_inline(
+            protection_fault(0x1000 + 40, StoreClass.FAULT_CODE))
+        assert served
+        assert t.prologue_armed
+        assert t.entry_label == "prologue"
+        assert manager.stats.revalidations_armed == 1
+        # Protection for the armed translation's granules is dropped.
+        assert not manager.protection.check_store(0x1000 + 40, 4).faults
+
+    def test_spurious_without_prologue_declines(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.protection.handle_miss(1)
+        served = manager.service_inline(
+            protection_fault(0x1000 + 40, StoreClass.FAULT_CODE))
+        assert not served
+
+    def test_genuine_smc_declines(self):
+        manager = make_manager()
+        t = make_translation(
+            entry=0x1000, length=32,
+            policy=TranslationPolicy(self_revalidate=True),
+        )
+        t.prologue_label = "prologue"
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.protection.handle_miss(1)
+        # Store overlapping actual code bytes: never serviceable inline.
+        served = manager.service_inline(
+            protection_fault(0x1008, StoreClass.FAULT_CODE))
+        assert not served
+
+    def test_stale_mask_recomputed(self):
+        manager = make_manager()
+        # Protected granules with no backing translation (stale state).
+        manager.protection.protect_range(0x1000, 32)
+        manager.protection.handle_miss(1)
+        served = manager.service_inline(
+            protection_fault(0x1008, StoreClass.FAULT_CODE))
+        assert served
+        assert not manager.protection.is_protected(1)
+
+
+class TestPrologueLifecycle:
+    def test_prologue_success_reprotects(self):
+        manager = make_manager()
+        t = make_translation(
+            entry=0x1000, length=32,
+            policy=TranslationPolicy(self_revalidate=True),
+        )
+        t.prologue_label = "prologue"
+        t.labels["prologue"] = 0
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.protection.handle_miss(1)
+        manager.service_inline(
+            protection_fault(0x1000 + 40, StoreClass.FAULT_CODE))
+        assert t.prologue_armed
+        manager.on_prologue_success(t)
+        assert not t.prologue_armed
+        assert t.entry_label == "body"
+        assert manager.protection.is_protected(1)
+        assert manager.stats.revalidations_passed == 1
+
+
+class TestGenuineSMCTriage:
+    def test_fault_page_invalidates_everything_on_page(self):
+        manager = make_manager(fine_grain=False)
+        a = make_translation(entry=0x1000, length=32)
+        b = make_translation(entry=0x1800, length=32)
+        for t in (a, b):
+            manager.tcache.insert(t)
+            manager.protect_translation(t)
+        manager.on_protection_fault(
+            protection_fault(0x1008, StoreClass.FAULT_PAGE))
+        assert manager.tcache.lookup(0x1000) is None
+        assert manager.tcache.lookup(0x1800) is None
+        assert not manager.protection.is_protected(1)
+
+    def test_genuine_code_write_retires_to_group(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.protection.handle_miss(1)
+        manager.on_protection_fault(
+            protection_fault(0x1008, StoreClass.FAULT_CODE))
+        assert manager.tcache.lookup(0x1000) is None
+        assert manager.groups.versions(0x1000) == 1
+        assert t.valid  # retired versions stay usable
+
+
+class TestRamWriteObserver:
+    def test_dma_write_invalidates_overlapping(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.on_ram_write(0x1010, 4)
+        assert manager.tcache.lookup(0x1000) is None
+
+    def test_data_write_on_same_page_harmless(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.on_ram_write(0x1F00, 4)  # same page, no overlap
+        assert manager.tcache.lookup(0x1000) is t
+
+    def test_self_check_translations_exempt(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32,
+                             policy=TranslationPolicy(self_check=True))
+        manager.tcache.insert(t)
+        manager.on_ram_write(0x1010, 4)
+        assert manager.tcache.lookup(0x1000) is t  # its checks handle it
+
+
+class TestInterpreterStoreHook:
+    def test_miss_then_allowed(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.on_interpreter_store(0x1800, 4)  # miss -> fill -> allowed
+        assert manager.stats.fg_miss_services == 1
+        # Second store hits the cache silently: no new fault recorded.
+        before = manager.protection.protection_faults
+        manager.on_interpreter_store(0x1804, 4)
+        assert manager.protection.protection_faults == before
+
+    def test_genuine_smc_from_interpreter_invalidates(self):
+        manager = make_manager()
+        t = make_translation(entry=0x1000, length=32)
+        manager.tcache.insert(t)
+        manager.protect_translation(t)
+        manager.protection.handle_miss(1)
+        manager.on_interpreter_store(0x1008, 4)
+        assert manager.tcache.lookup(0x1000) is None

@@ -1,0 +1,206 @@
+"""Combined stress: every paper challenge in one guest program.
+
+One guest exercises, simultaneously: paging, timer interrupts, port and
+memory-mapped I/O, DMA into RAM, genuine guest faults inside hot loops,
+self-modifying code, and data beside code — the "wide variety of
+everyday workloads" situation the paper says reveals these challenges.
+The oracle is the printed checksum versus the pure interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import CMSConfig
+from repro.machine import CONSOLE_MMIO_BASE
+from repro.workloads.builder import RUNTIME_LIBRARY, STACK_TOP
+
+from conftest import run_both
+
+STRESS_PROGRAM = f"""
+.org 0x1000
+start:
+    mov esp, {STACK_TOP:#x}
+    mov esi, 0
+
+    ; vectors: #DE handler + timer IRQ + DMA-completion IRQ
+    mov ebx, 0
+    storei [ebx+0], de_handler
+    storei [ebx+128], timer_isr      ; vector 32
+    storei [ebx+136], dma_isr        ; vector 34
+
+    ; identity page table for the first 2 MiB, then paging on
+    mov ebx, 0x00200000
+    mov ecx, 0
+pt_build:
+    mov eax, ecx
+    shl eax, 12
+    or eax, 3
+    storex [ebx+ecx*4], eax
+    inc ecx
+    cmp ecx, 512
+    jne pt_build
+    mov eax, 0x00200000
+    setpt eax
+    pgon
+
+    ; timer on
+    mov ebx, tickcount
+    storei [ebx], 0
+    mov eax, 900
+    out 0x40
+    mov eax, 1
+    out 0x41
+    sti
+
+    ; ---- main frame loop ----------------------------------------------
+    mov edi, 0
+frame:
+    ; 1. self-modifying inner kernel: patch the immediate below
+    mov eax, edi
+    imul eax, 0x01010101
+    mov ebx, patch_site + 2
+    store [ebx], eax
+    mov ecx, 0
+inner:
+patch_site:
+    add esi, 0x11111111
+    rol esi, 1
+    ; 2. mixed data beside code, same page
+    mov ebx, frame_state
+    load eax, [ebx]
+    inc eax
+    store [ebx], eax
+    ; 3. a division that faults on the last inner iteration
+    mov edx, 0
+    mov eax, 840
+    mov ebp, 19
+    sub ebp, ecx         ; reaches 0 at ecx == 19
+    div ebp
+    add esi, eax
+    inc ecx
+    cmp ecx, 20
+    jl inner
+resume:
+    ; 4. MMIO console output for this frame.  The device window lives
+    ;    above the identity-mapped range, so paging is toggled off
+    ;    around the access (as real early-boot code does).
+    pgoff
+    mov ebx, {CONSOLE_MMIO_BASE:#x}
+    mov eax, edi
+    and eax, 0x3F
+    add eax, 0x30
+    storeb [ebx], eax
+    pgon
+    ; 5. DMA a block and wait for it
+    mov eax, dmasrc
+    out 0x50
+    mov eax, dmadst
+    out 0x51
+    mov eax, 128
+    out 0x52
+    mov eax, 1
+    out 0x53
+dma_wait:
+    in 0x53
+    test eax, eax
+    jnz dma_wait
+    mov ebx, dmadst
+    load eax, [ebx]
+    xor esi, eax
+    inc edi
+    cmp edi, 25
+    jl frame
+
+    ; require at least one timer tick before finishing
+wait_tick:
+    mov ebx, tickcount
+    load eax, [ebx]
+    test eax, eax
+    jz wait_tick
+    cli
+    pgoff
+    call print_checksum
+    cli
+    hlt
+
+de_handler:
+    ; skip the faulting 2-byte div and resume at 'resume'
+    pop eax                  ; faulting eip
+    mov eax, resume
+    push eax
+    xor esi, 0xD1D1D1D1
+    iret
+
+dma_isr:
+    push eax
+    mov eax, 0x20
+    out 0x20                 ; EOI
+    pop eax
+    iret
+
+timer_isr:
+    push eax
+    push ebx
+    mov ebx, tickcount
+    load eax, [ebx]
+    inc eax
+    store [ebx], eax
+    mov eax, 0x20
+    out 0x20
+    pop ebx
+    pop eax
+    iret
+
+.align 64
+frame_state:
+    .word 0
+.space 60
+
+{RUNTIME_LIBRARY}
+
+.org 0x00108000
+dmasrc:
+    .space 128, 0xA5
+dmadst:
+    .space 128
+tickcount:
+    .word 0
+"""
+
+
+@pytest.mark.parametrize("config", [
+    CMSConfig(translation_threshold=4, fault_threshold=2),
+    CMSConfig(translation_threshold=4, fault_threshold=2,
+              reorder_memory=False, control_speculation=False),
+    CMSConfig(translation_threshold=4, fault_threshold=2,
+              fine_grain_protection=False),
+    CMSConfig(translation_threshold=4, fault_threshold=2,
+              force_self_check=True),
+], ids=["full", "no-reorder", "no-fine-grain", "forced-self-check"])
+def test_combined_stress_checksum(config):
+    both = run_both(STRESS_PROGRAM, config=config)
+    assert both.ref_result.halted and both.cms_result.halted
+    assert both.cms_result.console_output == \
+        both.ref_result.console_output, (
+        f"diverged: ref {both.ref_result.console_output!r} "
+        f"cms {both.cms_result.console_output!r}"
+    )
+
+
+def test_combined_stress_exercises_everything():
+    both = run_both(STRESS_PROGRAM,
+                    config=CMSConfig(translation_threshold=4,
+                                     fault_threshold=2))
+    system = both.cms_system
+    stats = system.stats
+    machine = system.machine
+    assert machine.mmu.translations > 0, "paging never engaged"
+    assert stats.interrupts_delivered >= 1, "no timer interrupts"
+    assert machine.dma.transfers_completed >= 25, "DMA did not run"
+    assert stats.guest_exceptions_delivered >= 25, "#DE never delivered"
+    assert stats.protection_faults >= 1, "no SMC protection activity"
+    assert stats.translations_made >= 1
+    assert stats.rollbacks >= 1

@@ -1,0 +1,104 @@
+"""Tests for the disassembler and the repro-cms CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.decoder import BytesFetcher
+from repro.isa.disasm import disassemble, disassemble_text
+from repro.tools.cli import main
+
+
+class TestDisassembler:
+    def fetcher(self, source):
+        program = assemble(source)
+        return BytesFetcher(program.flatten(), base=0), program
+
+    def test_roundtrip_simple(self):
+        fetch, program = self.fetcher("""
+        .org 0x100
+        start:
+            mov eax, 5
+            add eax, 2
+            cli
+            hlt
+        """)
+        lines = disassemble(fetch, 0x100, count=4)
+        assert [line.text for line in lines] == [
+            "mov eax, 0x5", "add eax, 0x2", "cli", "hlt",
+        ]
+
+    def test_raw_bytes_match_length(self):
+        fetch, _ = self.fetcher(".org 0\nstart: mov eax, 5\n")
+        (line,) = disassemble(fetch, 0, count=1)
+        assert len(line.raw) == 6
+
+    def test_invalid_bytes_become_data(self):
+        fetch = BytesFetcher(bytes([0xFF, 0x00]), base=0)
+        lines = disassemble(fetch, 0, count=2)
+        assert lines[0].text == ".byte 0xff"
+        assert lines[1].text == "nop"
+
+    def test_end_bound(self):
+        fetch, _ = self.fetcher(".org 0\nstart: nop\nnop\nnop\nnop\n")
+        lines = disassemble(fetch, 0, count=100, end=2)
+        assert len(lines) == 2
+
+    def test_text_format(self):
+        fetch, _ = self.fetcher(".org 0x40\nstart: jmp start\n")
+        text = disassemble_text(fetch, 0x40, count=1)
+        assert "00000040:" in text and "jmp 0x40" in text
+
+    def test_stops_at_buffer_edge(self):
+        fetch = BytesFetcher(bytes([0x00]), base=0)
+        lines = disassemble(fetch, 0, count=5)
+        assert len(lines) == 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quake_demo2" in out
+        assert "win98_boot" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "gcc", "--threshold", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "halted    : True" in out
+        assert "mol / instr" in out
+
+    def test_run_interp_only(self, capsys):
+        assert main(["run", "gcc", "--interp-only"]) == 0
+        out = capsys.readouterr().out
+        assert "translations                    0" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "gcc", "--count", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mov esp," in out
+
+    def test_translations(self, capsys):
+        assert main(["translations", "gcc", "--count", "1",
+                     "--threshold", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "commit" in out and "exit" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "gcc", "--threshold", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "translate" in out
+        assert "event totals:" in out
+
+    def test_config_flags_apply(self, capsys):
+        assert main(["run", "eqntott", "--no-reorder",
+                     "--threshold", "8"]) == 0
+        # No reordered atoms should have been emitted: the run completes
+        # and reports zero speculative loads.
+        out = capsys.readouterr().out
+        assert "halted    : True" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nosuchworkload"])

@@ -1,0 +1,100 @@
+"""Tests for the CMS event trace."""
+
+from __future__ import annotations
+
+from repro import CMSConfig
+from repro.cms.trace import Event, EventTrace
+
+from conftest import run_cms
+
+
+class TestEventTraceUnit:
+    def test_record_and_filter(self):
+        trace = EventTrace()
+        trace.record(Event.TRANSLATE, 0x1000, "default")
+        trace.record(Event.FAULT, 0x1004, "ALIAS_VIOLATION")
+        trace.record(Event.TRANSLATE, 0x2000)
+        assert len(trace) == 3
+        assert len(trace.records(Event.TRANSLATE)) == 2
+        assert trace.records(eip=0x1004)[0].event is Event.FAULT
+
+    def test_bounded_capacity(self):
+        trace = EventTrace(capacity=4)
+        for i in range(10):
+            trace.record(Event.TRANSLATE, i)
+        assert len(trace) == 4
+        assert trace.counts[Event.TRANSLATE] == 10  # counts keep totals
+        assert trace.last(4)[0].eip == 6
+
+    def test_disabled_records_nothing(self):
+        trace = EventTrace(enabled=False)
+        trace.record(Event.TRANSLATE, 0x1000)
+        assert len(trace) == 0
+
+    def test_dump_format(self):
+        trace = EventTrace()
+        trace.record(Event.ROLLBACK, 0x1234, "PROTECTION")
+        text = trace.dump()
+        assert "rollback" in text and "0x1234" in text
+
+    def test_sequence_of(self):
+        trace = EventTrace()
+        trace.record(Event.TRANSLATE, 1)
+        trace.record(Event.FAULT, 1)
+        trace.record(Event.RETRANSLATE, 1)
+        order = trace.sequence_of(Event.TRANSLATE, Event.RETRANSLATE)
+        assert order == [Event.TRANSLATE, Event.RETRANSLATE]
+
+
+class TestRuntimeTracing:
+    def test_translation_events_recorded(self):
+        system, _ = run_cms("""
+        start:
+            mov ecx, 0
+        loop:
+            inc ecx
+            cmp ecx, 200
+            jne loop
+            cli
+            hlt
+        """, CMSConfig(translation_threshold=4))
+        translates = system.trace.records(Event.TRANSLATE)
+        assert translates, "no TRANSLATE events recorded"
+        assert system.trace.counts[Event.TRANSLATE] == \
+            system.stats.translations_made
+
+    def test_fault_and_escalation_sequence(self):
+        from repro.workloads import run_workload
+        from repro.workloads.apps import alias_stress
+
+        result = run_workload(alias_stress(),
+                              CMSConfig(translation_threshold=6,
+                                        fault_threshold=2))
+        trace = result.system.trace
+        assert trace.counts[Event.FAULT] >= 1
+        assert trace.counts[Event.ROLLBACK] >= 1
+        assert trace.counts[Event.POLICY_ESCALATE] >= 1
+        # Escalation follows faults in time.
+        order = trace.sequence_of(Event.FAULT, Event.POLICY_ESCALATE)
+        assert order.index(Event.FAULT) < order.index(Event.POLICY_ESCALATE)
+
+    def test_smc_events_recorded(self):
+        from repro.workloads import run_workload
+        from repro.workloads.games import quake_demo2
+
+        result = run_workload(quake_demo2(frames=20),
+                              CMSConfig(translation_threshold=6,
+                                        fault_threshold=2))
+        trace = result.system.trace
+        assert trace.counts[Event.SMC_INVALIDATE] >= 1
+        assert trace.counts[Event.REVALIDATE_ARM] >= 0  # may or may not arm
+        assert trace.counts[Event.TRANSLATE] >= 1
+
+    def test_interrupt_rollbacks_traced(self):
+        from repro.workloads import get_workload, run_workload
+
+        result = run_workload(get_workload("dos_boot"),
+                              CMSConfig(translation_threshold=6))
+        trace = result.system.trace
+        # The timer phase forces interrupt exits from translations.
+        assert trace.counts[Event.INTERRUPT] >= 1
