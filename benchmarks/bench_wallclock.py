@@ -1,0 +1,194 @@
+"""Wall-clock performance of the simulator itself.
+
+Every other benchmark in this directory compares *molecule counts* —
+the paper's metric, measuring the quality of the code CMS generates.
+This one times the *host*: how many guest instructions per second the
+reproduction retires, and how much the engineering dials in
+``CMSConfig`` (decode cache, fast bus routing, dispatcher fast paths)
+buy over the seed's execution paths.  The two metrics are deliberately
+orthogonal: every row below asserts that console output and molecule
+counts are bit-identical with the optimizations on and off, so the
+dials can never change *what* is computed, only how fast the host
+computes it.
+
+Coverage: one boot (``dos_boot``), one app kernel (``compress``), and
+one SMC-heavy workload (``quake_demo2``, the self-modifying renderer,
+which exercises decode-cache invalidation on every patch).  Each runs
+under the translating baseline and under an interpreter-only
+configuration; the interpreter-dominated run is where the decode cache
+and bus fast paths concentrate, and it must show at least a 2x speedup
+over the seed paths.  A per-dial ablation attributes the win.
+
+Results land in three places: the usual ``results.txt`` table, a
+machine-readable ``BENCH_wallclock.json`` at the repo root, and the
+pytest output.  ``REPRO_WALLCLOCK_BUDGET=<n>`` caps every run at n
+guest instructions for CI smoke runs; with a reduced budget the 2x
+assertion is relaxed (startup costs dominate tiny runs) but identity
+and report shape are still checked.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from common import BASELINE, print_table, run_timed
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_wallclock.json")
+
+# (workload, role, interpreter-only?) rows.  The interpreter-only
+# quake_demo2 row is the "interpreter-dominated workload" of the
+# acceptance criterion: no translations, every instruction through
+# decode+dispatch, SMC stores invalidating the decode cache.
+ROWS = [
+    ("dos_boot", "boot", False),
+    ("compress", "app", False),
+    ("quake_demo2", "smc", False),
+    ("quake_demo2", "interp", True),
+]
+INTERP_DOMINATED = ("quake_demo2", True)
+ABLATION_WORKLOAD = "compress"  # interp-only; cheap enough to rerun
+DIALS = ("decode_cache", "fast_bus_routing", "fast_dispatch")
+
+MIN_SPEEDUP = 2.0
+
+
+def _budget() -> int | None:
+    raw = os.environ.get("REPRO_WALLCLOCK_BUDGET", "").strip()
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_WALLCLOCK_BUDGET must be an instruction count, "
+            f"got {raw!r}") from None
+    if budget <= 0:
+        raise SystemExit(
+            f"REPRO_WALLCLOCK_BUDGET must be positive, got {budget}")
+    return budget
+
+
+def _config(interp_only: bool, **dials):
+    config = BASELINE.interpreter_only() if interp_only else BASELINE
+    if dials:
+        from dataclasses import replace
+        config = replace(config, **dials)
+    return config
+
+
+def _measure(name: str, interp_only: bool, budget: int | None) -> dict:
+    optimized = _config(interp_only)
+    seed = optimized.seed_performance()
+    seed_secs, seed_result = run_timed(name, seed, budget)
+    opt_secs, opt_result = run_timed(name, optimized, budget)
+    # The dials must be invisible to everything the paper measures.
+    assert opt_result.console_output == seed_result.console_output, (
+        f"{name}: console output diverged with optimizations on"
+    )
+    assert opt_result.total_molecules == seed_result.total_molecules, (
+        f"{name}: molecule counts diverged with optimizations on"
+    )
+    assert opt_result.guest_instructions == seed_result.guest_instructions
+    instructions = opt_result.guest_instructions
+    return {
+        "config": "interp-only" if interp_only else "baseline",
+        "guest_instructions": instructions,
+        "seed_seconds": round(seed_secs, 4),
+        "optimized_seconds": round(opt_secs, 4),
+        "seed_ips": round(instructions / seed_secs) if seed_secs else 0,
+        "optimized_ips": round(instructions / opt_secs) if opt_secs else 0,
+        "speedup": round(seed_secs / opt_secs, 3) if opt_secs else 0.0,
+        "molecules_per_instruction": round(opt_result.mpx, 3),
+        "identical_output": True,
+    }
+
+
+def _ablate(budget: int | None) -> dict:
+    """Per-dial attribution: all-on vs exactly one dial off."""
+    all_on_secs, all_on = run_timed(
+        ABLATION_WORKLOAD, _config(True), budget)
+    out = {}
+    for dial in DIALS:
+        secs, result = run_timed(
+            ABLATION_WORKLOAD, _config(True, **{dial: False}), budget)
+        assert result.console_output == all_on.console_output, dial
+        assert result.total_molecules == all_on.total_molecules, dial
+        out[dial] = {
+            "seconds_without": round(secs, 4),
+            "slowdown_without": round(secs / all_on_secs, 3)
+            if all_on_secs else 0.0,
+        }
+    out["all_on_seconds"] = round(all_on_secs, 4)
+    return out
+
+
+def _collect() -> dict:
+    budget = _budget()
+    workloads = {}
+    for name, role, interp_only in ROWS:
+        key = f"{name}:{'interp' if interp_only else 'baseline'}"
+        workloads[key] = {"workload": name, "role": role,
+                          **_measure(name, interp_only, budget)}
+    return {
+        "budget": budget,
+        "workloads": workloads,
+        "ablation": _ablate(budget),
+    }
+
+
+def test_wallclock(benchmark):
+    report = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    _emit(report)
+    _check(report)
+
+
+def _emit(report: dict) -> None:
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    table = []
+    for key, row in report["workloads"].items():
+        table.append((
+            key,
+            f"{row['optimized_ips']:>9,} ips  "
+            f"(seed {row['seed_ips']:>9,})  "
+            f"speedup {row['speedup']:.2f}x  "
+            f"mpx {row['molecules_per_instruction']:.2f}",
+        ))
+    for dial in DIALS:
+        entry = report["ablation"][dial]
+        table.append((
+            f"ablate {dial}",
+            f"{entry['slowdown_without']:.2f}x slower without",
+        ))
+    budget = report["budget"]
+    print_table(
+        "Wall-clock (host instructions/second, optimizations vs seed)",
+        table,
+        footer=f"budget={'full' if budget is None else budget}; "
+               "output and molecule counts identical in every row",
+    )
+
+
+def _check(report: dict) -> None:
+    key = (f"{INTERP_DOMINATED[0]}:"
+           f"{'interp' if INTERP_DOMINATED[1] else 'baseline'}")
+    dominated = report["workloads"][key]
+    for row in report["workloads"].values():
+        assert row["identical_output"]
+        assert row["optimized_ips"] > 0
+    if report["budget"] is not None:
+        return  # CI smoke: identity and shape only; timing is noise.
+    assert dominated["speedup"] >= MIN_SPEEDUP, (
+        f"interpreter-dominated speedup {dominated['speedup']:.2f}x "
+        f"< {MIN_SPEEDUP}x"
+    )
+
+
+if __name__ == "__main__":
+    report = _collect()
+    _emit(report)
+    _check(report)
+    print("ok")

@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 import os
+import sys
 
-import pytest
+sys.path.insert(0, os.path.dirname(__file__))
 
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+import common  # noqa: E402
 
 
 def pytest_sessionstart(session):
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        handle.write("# Experiment results (regenerated by pytest "
-                     "benchmarks/)\n")
+    common.reset_results()

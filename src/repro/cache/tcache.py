@@ -47,10 +47,27 @@ class Translation:
     id: int = field(default_factory=lambda: next(_ids))
     # Translations that chained an exit to this one (for unchaining).
     incoming_chains: list[Atom] = field(default_factory=list)
+    # Cached flat address set of code_ranges (built on first use; the
+    # recovery interpreter consults it on every rolled-back step, and
+    # code_ranges never change after construction).
+    _region_addr_set: frozenset[int] | None = field(
+        default=None, repr=False)
 
     @property
     def num_molecules(self) -> int:
         return len(self.molecules)
+
+    def region_addrs(self) -> frozenset[int]:
+        """Every guest address covered by ``code_ranges``, precomputed."""
+        cached = self._region_addr_set
+        if cached is None:
+            cached = frozenset(
+                addr
+                for start, length in self.code_ranges
+                for addr in range(start, start + length)
+            )
+            self._region_addr_set = cached
+        return cached
 
     def pages(self) -> set[int]:
         out: set[int] = set()

@@ -79,6 +79,15 @@ class CMSConfig:
     dispatch_fuel_molecules: int = 400_000  # watchdog per dispatch
     recovery_interp_cap: int = 512  # max recovery steps per fault
 
+    # Wall-clock engineering dials (see EXPERIMENTS.md).  These change
+    # how fast the *simulator* runs on the host, never what it computes:
+    # molecule counts, CostModel charges, and console output are
+    # bit-identical with every combination of these flags.  They exist
+    # so `benchmarks/bench_wallclock.py` can attribute the speedup.
+    decode_cache: bool = True  # memoize decode() keyed by paddr
+    fast_bus_routing: bool = True  # bisect MMIO routing + RAM fast path
+    fast_dispatch: bool = True  # dispatcher/recovery fast paths
+
     cost: CostModel = field(default_factory=CostModel)
 
     def interpreter_only(self) -> "CMSConfig":
@@ -86,3 +95,10 @@ class CMSConfig:
         from dataclasses import replace
 
         return replace(self, translation_threshold=2**62)
+
+    def seed_performance(self) -> "CMSConfig":
+        """All wall-clock optimizations off (the seed's execution paths)."""
+        from dataclasses import replace
+
+        return replace(self, decode_cache=False, fast_bus_routing=False,
+                       fast_dispatch=False)

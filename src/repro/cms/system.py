@@ -34,6 +34,8 @@ from repro.host.faults import HostFault, HostFaultKind
 from repro.host.registers import HostBackedGuestState
 from repro.interp.interpreter import Halted, Interpreter
 from repro.interp.profile import ExecutionProfile
+from repro.isa.exceptions import GuestException
+from repro.isa.icache import DecodedInstructionCache
 from repro.machine import Machine
 from repro.memory.finegrain import FineGrainCache
 from repro.memory.protection import ProtectionMap
@@ -94,6 +96,19 @@ class CodeMorphingSystem:
         self.tcache.on_evict = self._on_tcache_evict
         self._halted = False
 
+        # Wall-clock engineering dials (cost-model-invisible; the
+        # benchmark harness flips them for attribution).
+        machine.bus.set_fast_routing(config.fast_bus_routing)
+        self._fast_dispatch = config.fast_dispatch
+        self.icache = DecodedInstructionCache() if config.decode_cache \
+            else None
+        if self.icache is not None:
+            self.interpreter.icache = self.icache
+            # Same coherence feed the SMC manager uses: every RAM store
+            # through the bus — interpreter stores, committed translated
+            # stores draining at commit, DMA and disk writes.
+            machine.bus.store_observers.append(self.icache.on_ram_write)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -132,14 +147,22 @@ class CodeMorphingSystem:
 
     def _dispatch_once(self) -> None:
         state = self.state
+        machine = self.machine
         # Pending interrupts are delivered at this precise boundary by
         # the interpreter (§3.3).
-        if state.interrupts_enabled and self.machine.pic.has_pending():
+        if state.interrupts_enabled and machine.pic.has_pending():
             self.interpreter.step()
             return
 
         eip = state.eip
-        if not self._identity_mapped(eip):
+        if self._fast_dispatch:
+            # While paging is off every address is identity-mapped, so
+            # skip the MMU walk entirely (the overwhelmingly common
+            # case: boots run un-paged and apps identity-map code).
+            if machine.mmu.paging_enabled and not self._identity_mapped(eip):
+                self._interp_step()
+                return
+        elif not self._identity_mapped(eip):
             self._interp_step()
             return
         translation = self.tcache.lookup(eip)
@@ -189,8 +212,6 @@ class CodeMorphingSystem:
         mmu = self.machine.mmu
         if not mmu.paging_enabled:
             return True
-        from repro.isa.exceptions import GuestException
-
         try:
             return mmu.translate(eip, is_write=False) == eip
         except GuestException:
@@ -228,9 +249,19 @@ class CodeMorphingSystem:
     # ------------------------------------------------------------------
 
     def _maybe_translate(self, eip: int) -> Translation | None:
-        self.profile.on_anchor(eip)
-        if self.profile.anchor_counts[eip] < self.config.translation_threshold:
-            return None
+        if self._fast_dispatch:
+            # The dispatcher just missed the tcache for this eip; bump
+            # the anchor count and test the threshold in one probe
+            # instead of re-deriving the count through the profile.
+            counts = self.profile.anchor_counts
+            counts[eip] = count = counts[eip] + 1
+            if count < self.config.translation_threshold:
+                return None
+        else:
+            self.profile.on_anchor(eip)
+            if self.profile.anchor_counts[eip] < \
+                    self.config.translation_threshold:
+                return None
         if eip in self.controller.policy_for(eip).stop_addrs:
             return None  # pinned to the interpreter (§3.2)
         reactivated = self.smc.try_group_reactivation(eip)
@@ -339,8 +370,6 @@ class CodeMorphingSystem:
         matching group member (§3.6.5), or leave retranslation to the
         dispatcher.
         """
-        from repro.isa.exceptions import GuestException
-
         try:
             current = self.smc._read_ranges(translation.code_ranges)
         except GuestException:
@@ -362,11 +391,14 @@ class CodeMorphingSystem:
         fault was an artifact of speculation and is simply ignored,
         §3.2).
         """
-        region_addrs = {
-            addr
-            for start, length in translation.code_ranges
-            for addr in range(start, start + length)
-        }
+        if self._fast_dispatch:
+            region_addrs = translation.region_addrs()
+        else:
+            region_addrs = {
+                addr
+                for start, length in translation.code_ranges
+                for addr in range(start, start + length)
+            }
         cap = self.config.recovery_interp_cap
         for step in range(cap):
             if self.state.eip not in region_addrs:

@@ -64,6 +64,11 @@ class Interpreter:
         # SMC manager uses it to service protection events for stores
         # performed by the (native, hence hardware-checked) interpreter.
         self.store_hook = None
+        # Optional DecodedInstructionCache.  Consulted only while paging
+        # is disabled (identity mapping, so EIP is the physical address
+        # the cache is keyed by); kept coherent by the owner through the
+        # memory bus's store observers.
+        self.icache = None
         self.steps = 0
         self.exceptions_delivered = 0
         self.interrupts_delivered = 0
@@ -103,8 +108,23 @@ class Interpreter:
         addr = state.eip
         self._touched_mmio = False
         try:
-            instr = decode(self.machine, addr)
-            self.execute(instr)
+            icache = self.icache
+            if icache is not None and not self.machine.mmu.paging_enabled:
+                entry = icache.entries.get(addr)
+                if entry is None:
+                    icache.misses += 1
+                    instr = decode(self.machine, addr)
+                    handler = _DISPATCH.get(instr.op)
+                    if handler is None:
+                        raise AssertionError(f"no handler for {instr.op!r}")
+                    icache.insert(addr, instr.length, (instr, handler))
+                else:
+                    icache.hits += 1
+                    instr, handler = entry
+                handler(self, instr)
+            else:
+                instr = decode(self.machine, addr)
+                self.execute(instr)
         except Halted:
             raise
         except GuestException as exc:

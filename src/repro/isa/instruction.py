@@ -8,7 +8,7 @@ built by the assembler before placement).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.isa import registers
 from repro.isa.opcodes import Fmt, Kind, Op, OpInfo, op_info
@@ -40,24 +40,25 @@ class Instruction:
     imm: int = 0
     addr: int | None = None
 
+    # Derived attributes, precomputed at construction: ``length``,
+    # ``end``, and ``next_addr`` sit on the interpreter's per-step hot
+    # path (every handler reads ``next_addr``), where a chain of
+    # property and table lookups per access is measurable.  ``end`` and
+    # ``next_addr`` are ``None`` for unplaced instructions (addr=None).
+    length: int = field(init=False, repr=False, compare=False)
+    end: int | None = field(init=False, repr=False, compare=False)
+    next_addr: int | None = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        length = op_info(self.op).length
+        end = self.addr + length if self.addr is not None else None
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "end", end)
+        object.__setattr__(self, "next_addr", end)
+
     @property
     def info(self) -> OpInfo:
         return op_info(self.op)
-
-    @property
-    def length(self) -> int:
-        return self.info.length
-
-    @property
-    def end(self) -> int:
-        """Address of the byte after this instruction."""
-        assert self.addr is not None
-        return self.addr + self.length
-
-    @property
-    def next_addr(self) -> int:
-        """Fall-through successor address (same as ``end``)."""
-        return self.end
 
     @property
     def kind(self) -> Kind:

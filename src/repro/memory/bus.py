@@ -11,10 +11,21 @@ Device MMIO side effects are irrevocable (paper: "they trigger
 irrevocable interactions with external devices"), which is why the host
 keeps stores gated in the store buffer until commit, and why reordered
 accesses to these regions must abort.
+
+Routing is the hottest query in the whole simulator (every data access
+and, without the decode cache, every code byte consults it), so it runs
+over base-sorted region arrays with ``bisect`` plus a pure-RAM fast
+path for addresses below the lowest MMIO base.  The naive linear scan
+survives as the reference implementation: ``set_fast_routing(False)``
+switches the bus back to it (the seed behavior) for ablation runs, and
+the property tests check the two agree on randomized region layouts.
+Both ``region_at`` and ``is_io`` route through the same sorted-probe
+helper, so there is a single routing implementation per mode.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -22,6 +33,8 @@ from repro.isa.exceptions import general_protection
 from repro.memory.physical import PhysicalMemory
 
 MASK32 = 0xFFFFFFFF
+
+_NO_MMIO_LIMIT = 1 << 62  # "lowest MMIO base" when there are no regions
 
 
 class MMIOHandler(Protocol):
@@ -53,7 +66,12 @@ class MemoryBus:
     ``store_observers`` are callbacks ``(addr, size)`` invoked *after*
     every RAM write that goes through the bus; the CMS uses one to keep
     the translation cache coherent with memory written by the
-    interpreter, committed translations, and DMA.
+    interpreter, committed translations, and DMA, and the decode cache
+    uses another for the same invariant.
+
+    Accesses are 1, 2, or 4 bytes on both the RAM and MMIO paths; any
+    other size raises ``ValueError`` before any routing or counter
+    side effect, so RAM and MMIO reject malformed accesses uniformly.
     """
 
     def __init__(self, ram: PhysicalMemory) -> None:
@@ -62,6 +80,16 @@ class MemoryBus:
         self.store_observers: list[Callable[[int, int], None]] = []
         self.io_reads = 0
         self.io_writes = 0
+        self.fast_routing = True
+        # Base-sorted routing arrays, rebuilt by add_region.
+        self._sorted_regions: list[MMIORegion] = []
+        self._bases: list[int] = []
+        self._ends: list[int] = []
+        self._ram_limit = _NO_MMIO_LIMIT  # lowest MMIO base
+
+    def set_fast_routing(self, enabled: bool) -> None:
+        """Select bisect routing (default) or the linear reference."""
+        self.fast_routing = bool(enabled)
 
     def add_region(self, region: MMIORegion) -> None:
         for existing in self.regions:
@@ -71,15 +99,45 @@ class MemoryBus:
                     f"MMIO region {region.name} overlaps {existing.name}"
                 )
         self.regions.append(region)
+        self._sorted_regions = sorted(self.regions, key=lambda r: r.base)
+        self._bases = [r.base for r in self._sorted_regions]
+        self._ends = [r.base + r.size for r in self._sorted_regions]
+        self._ram_limit = self._bases[0] if self._bases else _NO_MMIO_LIMIT
+
+    # ------------------------------------------------------------------
+    # Routing.  Regions never overlap, so the region containing ``addr``
+    # (if any) is the one with the greatest base <= addr, and a region
+    # intersecting [addr, addr+size) is either that one or the next.
+    # ------------------------------------------------------------------
 
     def region_at(self, addr: int) -> MMIORegion | None:
+        if not self.fast_routing:
+            return self._linear_region_at(addr)
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return self._sorted_regions[i]
+        return None
+
+    def is_io(self, addr: int, size: int = 1) -> bool:
+        """True if any byte of [addr, addr+size) falls in an MMIO region."""
+        if not self.fast_routing:
+            return self._linear_is_io(addr, size)
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return True
+        i += 1
+        return i < len(self._bases) and self._bases[i] < addr + size
+
+    # The seed's linear scans, kept as the executable reference for
+    # ablation (`fast_routing=False`) and for the routing property test.
+
+    def _linear_region_at(self, addr: int) -> MMIORegion | None:
         for region in self.regions:
             if region.contains(addr):
                 return region
         return None
 
-    def is_io(self, addr: int, size: int = 1) -> bool:
-        """True if any byte of [addr, addr+size) falls in an MMIO region."""
+    def _linear_is_io(self, addr: int, size: int = 1) -> bool:
         for region in self.regions:
             if addr < region.base + region.size and region.base < addr + size:
                 return True
@@ -89,40 +147,56 @@ class MemoryBus:
     # Access paths.  Reads/writes raise guest #GP for addresses that hit
     # neither RAM nor a device, matching a machine-check-free PC where
     # unmapped physical accesses just misbehave; faulting keeps bugs in
-    # workloads loud.
+    # workloads loud.  Routing is by the access's first byte, as on the
+    # seed bus; ``is_io`` is the conservative straddle check the
+    # execution engines use before accessing.
     # ------------------------------------------------------------------
 
     def read(self, addr: int, size: int) -> int:
         addr &= MASK32
-        region = self.region_at(addr)
+        if size != 4 and size != 1 and size != 2:
+            raise ValueError(f"unsupported access size {size} "
+                             f"(must be 1, 2, or 4)")
+        if self.fast_routing and addr + size <= self._ram_limit:
+            region = None  # pure-RAM fast path: below every MMIO base
+        else:
+            region = self.region_at(addr)
         if region is not None:
             self.io_reads += 1
             return region.handler.mmio_read(addr - region.base, size) & (
                 (1 << (8 * size)) - 1
             )
+        ram = self.ram
         try:
-            if size == 1:
-                return self.ram.read8(addr)
             if size == 4:
-                return self.ram.read32(addr)
+                return ram.read32(addr)
+            if size == 1:
+                return ram.read8(addr)
+            return ram.read16(addr)
         except IndexError:
             raise general_protection() from None
-        raise ValueError(f"unsupported access size {size}")
 
     def write(self, addr: int, value: int, size: int) -> None:
         addr &= MASK32
-        region = self.region_at(addr)
+        if size != 4 and size != 1 and size != 2:
+            raise ValueError(f"unsupported access size {size} "
+                             f"(must be 1, 2, or 4)")
+        if self.fast_routing and addr + size <= self._ram_limit:
+            region = None
+        else:
+            region = self.region_at(addr)
         if region is not None:
             self.io_writes += 1
             region.handler.mmio_write(addr - region.base, value, size)
             return
+        ram = self.ram
         try:
-            if size == 1:
-                self.ram.write8(addr, value)
-            elif size == 4:
-                self.ram.write32(addr, value)
+            if size == 4:
+                ram.write32(addr, value)
+            elif size == 1:
+                ram.write8(addr, value)
             else:
-                raise ValueError(f"unsupported access size {size}")
+                ram.write16(addr, value)
         except IndexError:
             raise general_protection() from None
         for observer in self.store_observers:

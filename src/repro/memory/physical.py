@@ -31,6 +31,11 @@ class PhysicalMemory:
             raise IndexError(addr)
         return self._data[addr]
 
+    def read16(self, addr: int) -> int:
+        if not 0 <= addr <= self.size - 2:
+            raise IndexError(addr)
+        return int.from_bytes(self._data[addr : addr + 2], "little")
+
     def read32(self, addr: int) -> int:
         if not 0 <= addr <= self.size - 4:
             raise IndexError(addr)
@@ -40,6 +45,11 @@ class PhysicalMemory:
         if not 0 <= addr < self.size:
             raise IndexError(addr)
         self._data[addr] = value & 0xFF
+
+    def write16(self, addr: int, value: int) -> None:
+        if not 0 <= addr <= self.size - 2:
+            raise IndexError(addr)
+        self._data[addr : addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
 
     def write32(self, addr: int, value: int) -> None:
         if not 0 <= addr <= self.size - 4:

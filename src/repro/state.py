@@ -30,6 +30,7 @@ MASK32 = 0xFFFFFFFF
 # the translator's guest-location numbering.
 FLAG_SLOTS = ("cf", "pf", "zf", "sf", "of", "if_")
 FLAG_SLOT_BITS = (fl.CF, fl.PF, fl.ZF, fl.SF, fl.OF, fl.IF)
+IF_SLOT = FLAG_SLOTS.index("if_")
 
 
 class GuestState:
@@ -75,7 +76,7 @@ class GuestState:
 
     @property
     def interrupts_enabled(self) -> bool:
-        return bool(self.get_flag(FLAG_SLOTS.index("if_")))
+        return bool(self.get_flag(IF_SLOT))
 
     def set_arith_flags(self, flags: int, mask: int = fl.ARITH_FLAGS) -> None:
         """Update the arithmetic flags selected by ``mask``."""
