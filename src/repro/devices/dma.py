@@ -63,6 +63,20 @@ class DMAController:
             self.transfers_completed += 1
             self._pic.request_irq(self.IRQ)
 
+    def start_transfer(self, source: int, dest: int, length: int) -> bool:
+        """Program and kick one transfer; returns False while busy.
+
+        Equivalent to the guest writing the four control ports, exposed
+        for host-side drivers such as the fault-injection harness.
+        """
+        if self.busy or length <= 0:
+            return False
+        self.source = source
+        self.dest = dest
+        self.length = length
+        self._control(1)
+        return True
+
     def _set_source(self, value: int) -> None:
         self.source = value
 

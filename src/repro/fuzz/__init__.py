@@ -1,0 +1,42 @@
+"""Differential fuzzing and fault injection for interpreter↔CMS
+equivalence (ISSUE 2).
+
+``genprog`` generates constrained random guest programs, ``oracle``
+diffs their outcome between the pure interpreter and full CMS across a
+matrix of configuration dials, ``inject`` adds deterministic
+asynchronous interrupts and DMA, ``shrink`` minimizes failures, and
+``corpus`` freezes them as permanent regression seeds.
+"""
+
+from repro.fuzz.corpus import (CorpusEntry, entry_from_program, load_corpus,
+                               parse_entry, write_entry)
+from repro.fuzz.genprog import FuzzProgram, generate
+from repro.fuzz.inject import FaultInjector, InjectionEvent, InjectionPlan
+from repro.fuzz.oracle import (CampaignResult, DialVariant, Mismatch,
+                               compare, default_matrix, execute,
+                               run_campaign, run_differential,
+                               variant_by_name)
+from repro.fuzz.shrink import shrink_program
+
+__all__ = [
+    "CampaignResult",
+    "CorpusEntry",
+    "DialVariant",
+    "FaultInjector",
+    "FuzzProgram",
+    "InjectionEvent",
+    "InjectionPlan",
+    "Mismatch",
+    "compare",
+    "default_matrix",
+    "entry_from_program",
+    "execute",
+    "generate",
+    "load_corpus",
+    "parse_entry",
+    "run_campaign",
+    "run_differential",
+    "shrink_program",
+    "variant_by_name",
+    "write_entry",
+]

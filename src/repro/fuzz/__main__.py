@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` — same entry point as ``repro-fuzz``."""
+
+import sys
+
+from repro.tools.cli import fuzz_main
+
+if __name__ == "__main__":
+    sys.exit(fuzz_main())

@@ -1,0 +1,97 @@
+"""Corpus format: shrunk reproducers frozen as ``.t86`` files.
+
+Every mismatch the fuzzer finds (after shrinking) is written to
+``tests/corpus/`` and replayed forever by ``tests/test_fuzz_corpus.py``.
+A corpus entry is a plain t86 assembly file whose header comments carry
+the replay metadata::
+
+    ; fuzz-corpus
+    ; seed: 12345
+    ; variant: tiny-regions
+    ; inject: [{"kind":"irq","at":150,"line":3}]
+    <assembly...>
+
+``variant`` names the dial point that diverged (the replay test still
+checks *all* variants — the name is for triage).  ``inject`` is the
+JSON injection plan, or absent for synchronous programs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fuzz.genprog import STACK_TOP, FuzzProgram
+from repro.fuzz.inject import InjectionPlan
+
+MAGIC = "; fuzz-corpus"
+
+_HEADER = re.compile(r"^;\s*(seed|variant|inject):\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable corpus program."""
+
+    name: str
+    source: str
+    seed: int = 0
+    variant: str = ""
+    plan: InjectionPlan | None = None
+
+    def ram_masks(self) -> list[tuple[int, int]]:
+        if self.plan is None:
+            return []
+        return [(STACK_TOP - 0x1000, STACK_TOP)]
+
+    def render(self) -> str:
+        lines = [MAGIC, f"; seed: {self.seed}"]
+        if self.variant:
+            lines.append(f"; variant: {self.variant}")
+        if self.plan is not None:
+            lines.append(f"; inject: {self.plan.to_json()}")
+        return "\n".join(lines) + "\n" + self.source
+
+
+def entry_from_program(name: str, program: FuzzProgram,
+                       variant: str = "") -> CorpusEntry:
+    return CorpusEntry(name=name, source=program.source,
+                       seed=program.seed, variant=variant,
+                       plan=program.plan)
+
+
+def parse_entry(name: str, text: str) -> CorpusEntry:
+    seed, variant, plan = 0, "", None
+    body_start = 0
+    for line in text.splitlines(keepends=True):
+        stripped = line.strip()
+        match = _HEADER.match(stripped)
+        if stripped == MAGIC or match:
+            body_start += len(line)
+            if match:
+                key, value = match.group(1), match.group(2).strip()
+                if key == "seed":
+                    seed = int(value)
+                elif key == "variant":
+                    variant = value
+                elif key == "inject":
+                    plan = InjectionPlan.from_json(value)
+            continue
+        break
+    return CorpusEntry(name=name, source=text[body_start:], seed=seed,
+                       variant=variant, plan=plan)
+
+
+def write_entry(directory: Path, entry: CorpusEntry) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.t86"
+    path.write_text(entry.render())
+    return path
+
+
+def load_corpus(directory: Path) -> list[CorpusEntry]:
+    entries = []
+    for path in sorted(Path(directory).glob("*.t86")):
+        entries.append(parse_entry(path.stem, path.read_text()))
+    return entries

@@ -1,0 +1,135 @@
+"""Fault injection: asynchronous events on a deterministic schedule.
+
+The differential oracle compares a program's architectural outcome under
+two execution engines, so injected asynchrony must be *reproducible*:
+both engines have to observe the same interrupts and DMA traffic at the
+same points in device time.  Device time in this reproduction is the
+retired-instruction count (``Machine.tick``), which advances identically
+for the same architectural instruction stream — exactly like the timer
+device, whose interrupts the existing stress tests already prove
+deliverable on either engine.
+
+``FaultInjector`` is therefore just another ticker: it carries a sorted
+schedule of events and fires each one when the machine's device clock
+passes its timestamp.  Under CMS the resulting interrupts land at
+whatever molecule boundary the host notices them, forcing rollback to
+the last commit and precise redelivery through the interpreter (§3.3);
+DMA writes stream through the memory bus where the SMC manager's store
+observer applies the §3.6.1 invalidation rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.machine import Machine
+
+# IRQ lines free for injection (0 = timer, 1 = disk, 2 = DMA complete).
+INJECTABLE_IRQ_LINES = (3, 4, 5)
+DMA_COMPLETE_IRQ = 2
+# When a DMA start finds the engine busy (schedules drawn too tightly),
+# the event is retried this many ticks later — still deterministic,
+# because the retry time is derived from device time alone.
+DMA_RETRY_TICKS = 16
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One scheduled asynchronous event.
+
+    ``kind`` is ``"irq"`` (raise ``line`` at device time ``at``) or
+    ``"dma"`` (start a ``length``-byte copy ``source`` -> ``dest``).
+    """
+
+    kind: str
+    at: int
+    line: int = 0
+    source: int = 0
+    dest: int = 0
+    length: int = 0
+
+    def to_dict(self) -> dict:
+        if self.kind == "irq":
+            return {"kind": "irq", "at": self.at, "line": self.line}
+        return {"kind": "dma", "at": self.at, "source": self.source,
+                "dest": self.dest, "length": self.length}
+
+    @staticmethod
+    def from_dict(data: dict) -> "InjectionEvent":
+        return InjectionEvent(
+            kind=data["kind"], at=data["at"], line=data.get("line", 0),
+            source=data.get("source", 0), dest=data.get("dest", 0),
+            length=data.get("length", 0),
+        )
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """A full schedule of injected events for one program run."""
+
+    events: tuple[InjectionEvent, ...] = ()
+
+    @property
+    def expected_interrupts(self) -> int:
+        """Interrupts the guest must see: one per IRQ event, plus the
+        completion IRQ of every DMA transfer."""
+        return len(self.events)
+
+    def irq_lines(self) -> tuple[int, ...]:
+        return tuple(sorted({e.line for e in self.events
+                             if e.kind == "irq"}))
+
+    def has_dma(self) -> bool:
+        return any(e.kind == "dma" for e in self.events)
+
+    def to_json(self) -> str:
+        return json.dumps([e.to_dict() for e in self.events],
+                          separators=(",", ":"))
+
+    @staticmethod
+    def from_json(text: str) -> "InjectionPlan":
+        return InjectionPlan(tuple(
+            InjectionEvent.from_dict(item) for item in json.loads(text)
+        ))
+
+
+@dataclass
+class FaultInjector:
+    """Ticker that replays an ``InjectionPlan`` against one machine."""
+
+    machine: Machine
+    plan: InjectionPlan
+    clock: int = 0
+    fired: int = 0
+    dma_retries: int = 0
+    _queue: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._queue = sorted(self.plan.events, key=lambda e: e.at)
+        self.machine.add_ticker(self)
+
+    def tick(self, instructions: int) -> None:
+        self.clock += instructions
+        while self._queue and self._queue[0].at <= self.clock:
+            event = self._queue.pop(0)
+            if event.kind == "irq":
+                self.machine.pic.request_irq(event.line)
+                self.fired += 1
+            elif self.machine.dma.start_transfer(event.source, event.dest,
+                                                 event.length):
+                self.fired += 1
+            else:
+                # Engine busy: push the start back a fixed device-time
+                # amount.  Deterministic, since both engines reach this
+                # device time with the DMA engine in the same state.
+                self.dma_retries += 1
+                self._queue.append(
+                    replace(event, at=self.clock + DMA_RETRY_TICKS)
+                )
+                self._queue.sort(key=lambda e: e.at)
+                break
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._queue

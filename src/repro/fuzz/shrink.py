@@ -1,0 +1,73 @@
+"""Delta-debugging shrinker for mismatching fuzz programs.
+
+Classic ddmin (Zeller & Hildebrandt) over the program's body blocks:
+try removing ever-finer-grained chunks, keeping any reduction that
+still reproduces the mismatch, until no single block can be removed.
+A final pass shrinks the loop iteration count.  The result is the
+small, human-readable reproducer that gets frozen into
+``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fuzz.genprog import FuzzProgram
+
+IsFailing = Callable[[FuzzProgram], bool]
+
+
+def _ddmin(program: FuzzProgram, is_failing: IsFailing) -> FuzzProgram:
+    blocks = list(program.body_blocks)
+    granularity = 2
+    while len(blocks) >= 2:
+        chunk = max(1, len(blocks) // granularity)
+        reduced = False
+        start = 0
+        while start < len(blocks):
+            candidate = blocks[:start] + blocks[start + chunk:]
+            if candidate and is_failing(program.with_body(candidate)):
+                blocks = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(blocks))
+    return program.with_body(blocks)
+
+
+def _shrink_iterations(program: FuzzProgram,
+                       is_failing: IsFailing) -> FuzzProgram:
+    for iterations in (1, 2, 4, 8):
+        if iterations >= program.iterations:
+            break
+        candidate = program.with_body(program.body_blocks, iterations)
+        if is_failing(candidate):
+            return candidate
+    return program
+
+
+def shrink_program(program: FuzzProgram, is_failing: IsFailing,
+                   max_rounds: int = 4) -> FuzzProgram:
+    """Minimize ``program`` while ``is_failing`` stays true.
+
+    ``is_failing`` must return True for ``program`` itself; the returned
+    program is 1-minimal over body blocks (no single block can be
+    dropped) with the smallest failing iteration count from a
+    log-spaced probe.
+    """
+    if not is_failing(program):
+        raise ValueError("shrink_program needs a failing program")
+    current = program
+    for _ in range(max_rounds):
+        candidate = _shrink_iterations(_ddmin(current, is_failing),
+                                       is_failing)
+        if candidate.body_blocks == current.body_blocks and \
+                candidate.iterations == current.iterations:
+            break
+        current = candidate
+    return current

@@ -96,6 +96,15 @@ class Machine:
         self._tickers = (self.timer, self.dma, self.disk)
         self.instructions_retired = 0
 
+    def add_ticker(self, device) -> None:
+        """Register an extra device on the instruction-time tick list.
+
+        Used by the fault-injection harness to advance schedule-driven
+        injectors in device time, so that two machines running the same
+        guest observe identical asynchronous event timing.
+        """
+        self._tickers = (*self._tickers, device)
+
     # ------------------------------------------------------------------
     # Program loading
     # ------------------------------------------------------------------

@@ -160,6 +160,101 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# repro-fuzz — the differential fuzzing campaign driver
+# ----------------------------------------------------------------------
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential fuzzing: interpreter vs CMS across the "
+                    "configuration dial matrix",
+    )
+    parser.add_argument("--budget", type=int, default=200,
+                        help="(program, variant) trials to spend "
+                             "(default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--max-instructions", type=int, default=400_000,
+                        help="per-run guest instruction cap")
+    parser.add_argument("--inject-every", type=int, default=4,
+                        help="every Nth program carries asynchronous "
+                             "interrupt/DMA injection (0 disables)")
+    parser.add_argument("--variants", default=None,
+                        help="comma-separated dial variant names "
+                             "(default: full matrix)")
+    parser.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where shrunk reproducers are written")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report mismatches without shrinking")
+    parser.add_argument("--list-variants", action="store_true",
+                        help="print the dial matrix and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-program progress")
+    return parser
+
+
+def fuzz_main(argv: list[str] | None = None) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import (default_matrix, entry_from_program, run_campaign,
+                            run_differential, shrink_program, variant_by_name,
+                            write_entry)
+
+    args = build_fuzz_parser().parse_args(argv)
+    matrix = default_matrix()
+    if args.list_variants:
+        for variant in matrix:
+            print(variant.name)
+        return 0
+    if args.variants:
+        matrix = tuple(variant_by_name(name.strip())
+                       for name in args.variants.split(","))
+
+    progress = [0]
+
+    def on_program(program):
+        progress[0] += 1
+        if not args.quiet and progress[0] % 10 == 0:
+            print(f"... program {progress[0]} (seed {program.seed})")
+
+    result = run_campaign(
+        budget=args.budget, seed=args.seed, variants=matrix,
+        inject_every=args.inject_every,
+        max_instructions=args.max_instructions,
+        on_program=on_program,
+    )
+    print(f"campaign: {result.trials} trials over {result.programs} "
+          f"programs ({result.injected_programs} with fault injection), "
+          f"{len(result.mismatches)} mismatches")
+    if result.ok:
+        return 0
+
+    for mismatch in result.mismatches:
+        print()
+        print(mismatch.describe())
+        if args.no_shrink:
+            continue
+        variant = mismatch.variant
+
+        def is_failing(candidate):
+            return any(m.variant.name == variant.name for m in
+                       run_differential(candidate, (variant,),
+                                        args.max_instructions))
+
+        shrunk = shrink_program(mismatch.program, is_failing)
+        print(f"shrunk to {shrunk.body_instruction_count()} body "
+              f"instructions, {shrunk.iterations} iterations")
+        entry = entry_from_program(
+            f"fuzz_seed{shrunk.seed}_{variant.name}", shrunk,
+            variant=variant.name,
+        )
+        path = write_entry(Path(args.corpus_dir), entry)
+        print(f"reproducer written to {path}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cms",

@@ -9,12 +9,84 @@ registers, flags, console output, and RAM contents.
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
 
 import pytest
 
 from repro import CMSConfig, CodeMorphingSystem, Machine, run_reference
 from repro.machine import MachineConfig
+
+# ----------------------------------------------------------------------
+# Reproducible randomness: every random-using test (hypothesis property
+# tests and the `fuzz_seed` fixture) derives its seed from one session
+# seed, settable with `--fuzz-seed N` and printed in the header and on
+# every failure.  Without the option a fresh seed is drawn per session,
+# so repeated CI runs still explore new ground — reproducibly.
+# ----------------------------------------------------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed", type=int, default=None,
+        help="session seed for property tests and fuzz fixtures "
+             "(default: random, printed in the header)",
+    )
+
+
+def pytest_configure(config):
+    seed = config.getoption("--fuzz-seed")
+    if seed is None:
+        seed = random.SystemRandom().randrange(2**32)
+    config._fuzz_session_seed = seed
+
+
+def pytest_report_header(config):
+    return (f"fuzz seed: {config._fuzz_session_seed} "
+            f"(reproduce with --fuzz-seed={config._fuzz_session_seed})")
+
+
+def _item_seed(item) -> int:
+    """Per-test seed: stable across runs for a fixed session seed, but
+    distinct between tests so they don't all walk the same stream."""
+    return (item.config._fuzz_session_seed
+            ^ zlib.crc32(item.nodeid.encode())) & 0xFFFFFFFF
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_collection_modifyitems(config, items):
+    yield
+    try:
+        import hypothesis
+    except ImportError:
+        return
+    for item in items:
+        func = getattr(item, "obj", None)
+        if func is None or not hasattr(func, "hypothesis"):
+            continue
+        # Bound methods reject attribute writes; seed the function.
+        target = getattr(func, "__func__", func)
+        hypothesis.seed(_item_seed(item))(target)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = item.config._fuzz_session_seed
+        report.sections.append((
+            "fuzz seed",
+            f"session seed {seed}; rerun with "
+            f"`--fuzz-seed={seed}` to reproduce",
+        ))
+
+
+@pytest.fixture
+def fuzz_seed(request) -> int:
+    """A per-test seed derived from the session ``--fuzz-seed``."""
+    return _item_seed(request.node)
 
 
 @dataclass

@@ -1,0 +1,30 @@
+"""Replay every frozen fuzz reproducer in ``tests/corpus/``.
+
+Each ``.t86`` entry was once a fuzzer-found (or deliberately crafted)
+differential witness; replaying them against the *full* dial matrix on
+every run makes each past mismatch a permanent regression test.  Runs
+in the ``fuzz`` lane (``pytest -m fuzz``), not tier-1.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, run_differential
+
+pytestmark = pytest.mark.fuzz
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_replays_clean(entry):
+    mismatches = run_differential(entry)
+    assert not mismatches, "\n\n".join(m.describe() for m in mismatches)

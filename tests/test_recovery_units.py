@@ -1,0 +1,207 @@
+"""Direct unit coverage for the two recovery paths in CMSSystem that
+were previously only reached through whole workloads:
+
+* ``_handle_self_check_fail`` — §3.6.3 self-checking translations:
+  case (a) the region patched itself (memory still matches the
+  snapshot, translation survives), case (b) foreign code rewrote the
+  region (translation retired).
+* ``_recovery_interpret`` — §3.2 speculative-vs-genuine fault triage:
+  re-run the rolled-back region in the interpreter and report whether
+  the guest exception recurs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CMSConfig, CodeMorphingSystem, Machine
+from repro.isa.assembler import assemble
+from repro.isa.registers import REG_NAMES
+
+
+def _set_reg(state, name: str, value: int) -> None:
+    state.set_reg(REG_NAMES.index(name), value)
+
+FAST = CMSConfig(translation_threshold=3, fault_threshold=2,
+                 force_self_check=True)
+
+LOOP_PROGRAM = """
+.org 0x1000
+start:
+    mov esp, 0x7F000
+    mov eax, 0
+    storei [eax+0], de_handler
+    mov ebx, 1
+    mov ecx, 8
+loop:
+    mov eax, 100
+    mov edx, 0
+    div ebx
+    dec ecx
+    jnz loop
+    cli
+    hlt
+de_handler:
+    pop eax
+    add eax, 2
+    push eax
+    iret
+"""
+
+
+def _translated_system(config: CMSConfig = FAST):
+    """Run LOOP_PROGRAM to completion and return (system, symbols) with
+    the loop region hot in the translation cache."""
+    program = assemble(LOOP_PROGRAM)
+    machine = Machine()
+    machine.load_program(program)
+    system = CodeMorphingSystem(machine, config)
+    result = system.run(program.entry, max_instructions=100_000)
+    assert result.halted
+    translation = system.tcache.lookup(program.symbols["loop"])
+    assert translation is not None and translation.valid
+    return system, program.symbols
+
+
+class TestHandleSelfCheckFail:
+    def test_self_write_keeps_translation_and_interprets(self):
+        # Case (a): memory still matches the snapshot (the region's own
+        # rolled-back store was discarded) — the translation must stay
+        # valid and the interpreter must make precise forward progress.
+        system, symbols = _translated_system()
+        translation = system.tcache.lookup(symbols["loop"])
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ecx", 1)
+        _set_reg(system.state, "ebx", 1)
+        before = system.stats.interp_instructions
+        system._handle_self_check_fail(translation)
+        assert translation.valid
+        assert system.stats.interp_instructions == before + 1
+        assert system.state.eip != symbols["loop"]  # one instruction in
+
+    def test_foreign_rewrite_retires_translation(self):
+        # Case (b): the bytes genuinely changed under the translation.
+        # With groups enabled the stale version is retired out of the
+        # tcache into its translation group (§3.6.5).
+        system, symbols = _translated_system()
+        translation = system.tcache.lookup(symbols["loop"])
+        start, length = translation.code_ranges[0]
+        # Rewrite a code byte behind the bus (no store observers), the
+        # way a stale snapshot looks to the checker.  The *last* byte
+        # of the range, so the interpreter fallback still starts on an
+        # intact instruction.
+        system.machine.ram.write8(
+            start + length - 1,
+            system.machine.ram.read8(start + length - 1) ^ 0xFF,
+        )
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ecx", 1)
+        _set_reg(system.state, "ebx", 1)
+        invalidations = system.stats.smc_invalidations
+        system._handle_self_check_fail(translation)
+        assert system.tcache.lookup(symbols["loop"]) is None
+        assert system.stats.smc_invalidations == invalidations + 1
+        assert system.groups.has_group(symbols["loop"])
+
+    def test_foreign_rewrite_invalidates_without_groups(self):
+        # Same case (b) with translation groups disabled: the stale
+        # version is invalidated outright.
+        from dataclasses import replace
+
+        system, symbols = _translated_system(
+            replace(FAST, translation_groups=False)
+        )
+        translation = system.tcache.lookup(symbols["loop"])
+        start, length = translation.code_ranges[0]
+        system.machine.ram.write8(
+            start + length - 1,
+            system.machine.ram.read8(start + length - 1) ^ 0xFF,
+        )
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ecx", 1)
+        _set_reg(system.state, "ebx", 1)
+        system._handle_self_check_fail(translation)
+        assert not translation.valid
+
+    def test_retired_sibling_reactivates_when_bytes_flip_back(self):
+        # §3.6.5 alternating-versions scenario: the region is rewritten
+        # (v1 retired into its group), then rewritten *back* — the
+        # retired version must come back from the group instead of
+        # being retranslated.
+        system, symbols = _translated_system()
+        v1 = system.tcache.lookup(symbols["loop"])
+        start, length = v1.code_ranges[0]
+        original = system.machine.ram.read8(start + length - 1)
+        system.machine.ram.write8(start + length - 1, original ^ 0xFF)
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ecx", 1)
+        _set_reg(system.state, "ebx", 1)
+        system._handle_self_check_fail(v1)  # case (b): retired
+        assert system.tcache.lookup(symbols["loop"]) is None
+        system.machine.ram.write8(start + length - 1, original)
+        reactivated = system.smc.try_group_reactivation(symbols["loop"])
+        assert reactivated is v1
+        assert reactivated.valid
+
+    def test_foreign_rewrite_falls_back_to_interpreter(self):
+        # With no group sibling to reactivate, case (b) must still make
+        # interpreter progress instead of spinning on the dead entry.
+        system, symbols = _translated_system()
+        translation = system.tcache.lookup(symbols["loop"])
+        start, _ = translation.code_ranges[0]
+        system.machine.ram.write8(start, system.machine.ram.read8(start) ^ 0xFF)
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ecx", 1)
+        _set_reg(system.state, "ebx", 1)
+        before = system.stats.interp_instructions
+        system._handle_self_check_fail(translation)
+        assert system.stats.interp_instructions == before + 1
+
+
+class TestRecoveryInterpret:
+    def test_eip_outside_region_returns_false(self):
+        system, symbols = _translated_system()
+        translation = system.tcache.lookup(symbols["loop"])
+        system.state.eip = 0x3000  # nowhere near the region
+        steps_before = system.stats.recovery_interp_instructions
+        assert system._recovery_interpret(None, translation) is False
+        assert system.stats.recovery_interp_instructions == steps_before
+
+    def test_genuine_fault_recurs_and_is_delivered(self):
+        # ebx = 0 makes the region's div genuinely fault: the recovery
+        # interpreter must hit the same exception and deliver it
+        # precisely (the paper's "genuine fault" outcome).
+        system, symbols = _translated_system()
+        translation = system.tcache.lookup(symbols["loop"])
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ebx", 0)
+        _set_reg(system.state, "ecx", 4)
+        delivered = system.interpreter.exceptions_delivered
+        assert system._recovery_interpret(None, translation) is True
+        assert system.interpreter.exceptions_delivered == delivered + 1
+
+    def test_clean_loop_pass_returns_false(self):
+        # ebx = 1: the pass through the loop body re-executes cleanly
+        # and control returns to the entry — a speculation artifact,
+        # not a genuine fault.
+        system, symbols = _translated_system()
+        translation = system.tcache.lookup(symbols["loop"])
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ebx", 1)
+        _set_reg(system.state, "ecx", 4)
+        steps_before = system.stats.recovery_interp_instructions
+        assert system._recovery_interpret(None, translation) is False
+        assert system.stats.recovery_interp_instructions > steps_before
+        assert system.state.eip == symbols["loop"]
+
+    def test_cap_bounds_runaway_recovery(self):
+        # A tiny cap must stop recovery even though the region would
+        # eventually fault — the dispatcher then takes the slow path.
+        config = CMSConfig(translation_threshold=3, fault_threshold=2,
+                           recovery_interp_cap=2)
+        system, symbols = _translated_system(config)
+        translation = system.tcache.lookup(symbols["loop"])
+        system.state.eip = symbols["loop"]
+        _set_reg(system.state, "ebx", 0)  # would fault at step 3
+        _set_reg(system.state, "ecx", 4)
+        assert system._recovery_interpret(None, translation) is False

@@ -19,6 +19,10 @@ from repro.workloads.builder import RUNTIME_LIBRARY, STACK_TOP
 
 from conftest import run_both
 
+# Long-running scenario matrix: runs in the slow lane
+# (`pytest -m slow`), not tier-1.
+pytestmark = pytest.mark.slow
+
 STRESS_PROGRAM = f"""
 .org 0x1000
 start:
