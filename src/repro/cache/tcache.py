@@ -148,17 +148,23 @@ class TranslationCache:
 
     def remove(self, translation: Translation) -> None:
         """Detach a translation from the cache without marking it invalid
-        (used when retiring a still-correct version into a group)."""
-        existing = self._by_entry.get(translation.entry_eip)
-        if existing is translation:
+        (used when retiring a still-correct version into a group).
+
+        Idempotent: removing a translation that is no longer resident
+        (e.g. already invalidated through a ladder demotion) only
+        re-runs the unchain sweep and never re-debits the molecule
+        accounting.
+        """
+        resident = self._by_entry.get(translation.entry_eip) is translation
+        if resident:
             del self._by_entry[translation.entry_eip]
+            self.total_molecules -= translation.num_molecules
         for page in translation.pages():
             bucket = self._by_page.get(page)
             if bucket is not None:
                 bucket.discard(translation)
                 if not bucket:
                     del self._by_page[page]
-        self.total_molecules -= translation.num_molecules
         self._unchain_incoming(translation)
         self._unchain_outgoing(translation)
 
@@ -215,9 +221,18 @@ class TranslationCache:
         return victims
 
     def flush(self) -> None:
-        """Full GC: drop everything (and all chains with it)."""
+        """Full GC: drop everything (and all chains with it).
+
+        Chain patches are explicitly reverted even though every resident
+        translation dies together: exit atoms outlive the flush (their
+        translations may be resurrected through groups or still be
+        mid-unwind in the dispatcher), so none may keep pointing into
+        the dead generation.
+        """
         for translation in list(self._by_entry.values()):
             translation.valid = False
+            self._unchain_incoming(translation)
+            self._unchain_outgoing(translation)
         self._by_entry.clear()
         self._by_page.clear()
         self.total_molecules = 0

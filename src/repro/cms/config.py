@@ -79,6 +79,20 @@ class CMSConfig:
     dispatch_fuel_molecules: int = 400_000  # watchdog per dispatch
     recovery_interp_cap: int = 512  # max recovery steps per fault
 
+    # Failure containment & graceful degradation (PR 3).
+    failure_containment: bool = True  # containment boundaries + ladder
+    storm_window: int = 2500  # guest-instruction window for storm detection
+    storm_threshold: int = 6  # degrade events in-window before demotion
+    quarantine_probation: int = 50  # interpreter visits before re-admission
+    ladder_promote_clean: int = 32  # clean dispatches per rung re-climbed
+    degrade_tier_floor: int = 0  # start (and keep) every region >= this tier
+    audit_interval: int = 2048  # dispatches between self-audits (0 = off)
+    # Chaos mode (fuzz harness): probability that any one internal
+    # translator/chain operation raises an injected error.  The
+    # containment layer must keep every such failure guest-invisible.
+    chaos_rate: float = 0.0
+    chaos_seed: int = 0
+
     # Wall-clock engineering dials (see EXPERIMENTS.md).  These change
     # how fast the *simulator* runs on the host, never what it computes:
     # molecule counts, CostModel charges, and console output are

@@ -80,6 +80,17 @@ class AdaptiveController:
     # Fault accounting and escalation
     # ------------------------------------------------------------------
 
+    def reset_region(self, entry_eip: int) -> None:
+        """Forget a region's per-site fault counters (not its policy).
+
+        Called when the degradation ladder quarantines the region: the
+        accumulated *policy* stays (it solved real problems and must not
+        bounce, §3), but stale partial counts must not push a freshly
+        re-admitted region straight into another escalation.
+        """
+        for key in [k for k in self._site_faults if k[0] == entry_eip]:
+            del self._site_faults[key]
+
     def note_fault(self, translation: Translation, fault: HostFault,
                    genuine: bool | None) -> TranslationPolicy | None:
         """Record a fault; return a new policy if retranslation is due."""

@@ -40,7 +40,8 @@ class SMCManager:
 
     def __init__(self, config: CMSConfig, tcache: TranslationCache,
                  groups: TranslationGroups, protection: ProtectionMap,
-                 machine, stats: CMSStats, controller, trace=None) -> None:
+                 machine, stats: CMSStats, controller, trace=None,
+                 degrade=None) -> None:
         from repro.cms.trace import EventTrace
 
         self.trace = trace if trace is not None else EventTrace(enabled=False)
@@ -51,6 +52,10 @@ class SMCManager:
         self.machine = machine
         self.stats = stats
         self.controller = controller
+        # DegradationManager hook (optional so unit tests can build an
+        # SMC manager in isolation): feeds invalidation storms into the
+        # ladder and keeps group reactivation honest about tiers.
+        self.degrade = degrade
         self._spurious_faults: Counter = Counter()  # per translation id
         self._genuine_smc: Counter = Counter()  # per entry eip
         self._smc_write_sites: dict[int, set[int]] = {}  # entry -> paddrs
@@ -299,6 +304,13 @@ class SMCManager:
         from repro.cms.trace import Event
 
         self.trace.record(Event.SMC_INVALIDATE, translation.entry_eip)
+        if self.degrade is not None:
+            # Invalidate ping-pong between overlapping translations is a
+            # storm the per-fault adaptation never sees: each round goes
+            # through a *different* translation object.  The ladder
+            # counts rounds per region and throttles the region itself.
+            self.degrade.note_degrade_event(translation.entry_eip,
+                                            "smc-invalidate")
 
     # ------------------------------------------------------------------
     # Self-check failures (§3.6.3 / §3.6.5)
@@ -309,6 +321,12 @@ class SMCManager:
         self._learn_from_diff(translation)
         self._drop_for_smc(translation)
         if not self.config.translation_groups:
+            return None
+        if self.degrade is not None and \
+                self.degrade.tier_of(translation.entry_eip) > 0:
+            # A degraded region must not short-circuit back to a cached
+            # aggressive version; the dispatcher re-translates under the
+            # tier's clamped policy instead.
             return None
         replacement = self.groups.match_current(
             translation.entry_eip, self._read_ranges
@@ -376,6 +394,8 @@ class SMCManager:
         if replacement is None:
             return None
         required = self.controller.policy_for(entry_eip)
+        if self.degrade is not None:
+            required = self.degrade.clamp(entry_eip, required)
         if required.merge(replacement.policy) != replacement.policy:
             self.groups.retire(replacement)  # put it back; translate fresh
             return None

@@ -49,6 +49,16 @@ class CMSStats:
     revalidations_passed: int = 0
     fuel_exits: int = 0
 
+    # Failure containment & graceful degradation (PR 3).
+    contained_errors: int = 0  # internal failures stopped at a boundary
+    quarantines: int = 0  # regions demoted to interpret-only
+    quarantine_readmissions: int = 0  # probation expiries (re-admitted)
+    storm_demotions: int = 0  # ladder rungs descended by storms
+    ladder_promotions: int = 0  # rungs re-climbed on clean streaks
+    audit_runs: int = 0
+    audit_repairs: int = 0
+    chaos_injected: int = 0  # chaos-mode faults raised (and contained)
+
     def total_molecules(self, cost: CostModel) -> int:
         """Molecule-equivalents for the whole run."""
         return (
@@ -95,4 +105,76 @@ class CMSStats:
                     self.faults.items())
             )
             lines.append(f"host faults          {fault_list}")
+        if self.contained_errors or self.quarantines or self.storm_demotions:
+            lines.append(
+                f"containment          {self.contained_errors:>12}"
+                f" ({self.quarantines} quarantines,"
+                f" {self.storm_demotions} storm demotions,"
+                f" {self.ladder_promotions + self.quarantine_readmissions}"
+                f" promotions)"
+            )
+        if self.audit_runs:
+            lines.append(f"self-audits          {self.audit_runs:>12}"
+                         f" ({self.audit_repairs} repairs)")
+        return "\n".join(lines)
+
+
+@dataclass
+class HealthReport:
+    """Self-audit + containment snapshot of one CMS instance.
+
+    Built by :meth:`CodeMorphingSystem.health_report`; rendered by the
+    ``repro-health`` CLI.  ``healthy`` means the run needed no audit
+    repairs and contained nothing — degraded-but-contained runs are
+    still *safe* (that is the whole point), just not pristine.
+    """
+
+    contained_errors: int
+    quarantines: int
+    quarantined_regions: list[int]
+    storm_demotions: int
+    promotions: int
+    tier_census: dict[str, int]
+    audit_runs: int
+    audit_repairs: int
+    audit_findings: list[str]
+    chaos_injected: int
+    incidents: list[str]
+
+    @property
+    def healthy(self) -> bool:
+        return self.contained_errors == 0 and self.audit_repairs == 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined_regions) or any(
+            count for name, count in self.tier_census.items()
+            if name != "AGGRESSIVE"
+        )
+
+    def describe(self) -> str:
+        status = "HEALTHY" if self.healthy else "CONTAINED"
+        lines = [
+            f"status               {status}"
+            f"{' (degraded tiers active)' if self.degraded else ''}",
+            f"contained errors     {self.contained_errors:>8}"
+            f" ({self.chaos_injected} chaos-injected)",
+            f"quarantines          {self.quarantines:>8}"
+            f" ({len(self.quarantined_regions)} still quarantined)",
+            f"storm demotions      {self.storm_demotions:>8}",
+            f"ladder promotions    {self.promotions:>8}",
+            f"self-audit runs      {self.audit_runs:>8}"
+            f" ({self.audit_repairs} repairs)",
+        ]
+        census = ", ".join(f"{name}={count}"
+                           for name, count in self.tier_census.items()
+                           if count)
+        lines.append(f"tier census          {census or '(no regions)'}")
+        if self.quarantined_regions:
+            addrs = ", ".join(f"{a:#x}" for a in self.quarantined_regions[:8])
+            lines.append(f"quarantined at       {addrs}")
+        for finding in self.audit_findings[:10]:
+            lines.append(f"  audit: {finding}")
+        for incident in self.incidents[-10:]:
+            lines.append(f"  incident: {incident}")
         return "\n".join(lines)

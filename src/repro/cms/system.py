@@ -25,9 +25,11 @@ from dataclasses import dataclass
 from repro.cache.groups import TranslationGroups
 from repro.cache.tcache import Translation, TranslationCache
 from repro.cms.config import CMSConfig
+from repro.cms.degrade import (ChaosMonkey, DegradationManager,
+                               RuntimeAuditor)
 from repro.cms.retranslation import AdaptiveController
 from repro.cms.smc import SMCManager
-from repro.cms.stats import CMSStats
+from repro.cms.stats import CMSStats, HealthReport
 from repro.cms.trace import Event, EventTrace
 from repro.host.cpu import ExitKind, HostCPU
 from repro.host.faults import HostFault, HostFaultKind
@@ -85,9 +87,16 @@ class CodeMorphingSystem:
         self.stats = CMSStats()
         self.trace = EventTrace()
         self.controller = AdaptiveController(config)
+        self.degrade = DegradationManager(
+            config, self.stats, trace=self.trace,
+            clock=lambda: self.machine.instructions_retired,
+        )
+        self.degrade.on_demote = self._on_region_demoted
+        self.auditor = RuntimeAuditor(self)
         self.smc = SMCManager(config, self.tcache, self.groups,
                               self.protection, machine, self.stats,
-                              self.controller, trace=self.trace)
+                              self.controller, trace=self.trace,
+                              degrade=self.degrade)
 
         self.interpreter.store_hook = self.smc.on_interpreter_store
         self.cpu.protection_service = self.smc.service_inline
@@ -108,6 +117,24 @@ class CodeMorphingSystem:
             # through the bus — interpreter stores, committed translated
             # stores draining at commit, DMA and disk writes.
             machine.bus.store_observers.append(self.icache.on_ram_write)
+
+        # Chaos mode (fuzz harness): deterministically raise internal
+        # errors inside the translator so the containment layer can be
+        # audited end to end.  The wrapper sits *inside* the containment
+        # boundaries, exactly where a real translator bug would fire.
+        self.chaos = (ChaosMonkey(config.chaos_rate, config.chaos_seed)
+                      if config.chaos_rate > 0.0 else None)
+        if self.chaos is not None:
+            inner_translate = self.translator.translate
+
+            def chaotic_translate(entry_eip, policy):
+                self.chaos.maybe_raise("translator.select")
+                translation = inner_translate(entry_eip, policy)
+                self.chaos.maybe_raise("translator.codegen")
+                return translation
+
+            self.translator.translate = chaotic_translate
+        self._dispatches_since_audit = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -140,12 +167,100 @@ class CodeMorphingSystem:
             self.interpreter.interrupts_delivered
         self.stats.guest_exceptions_delivered = \
             self.interpreter.exceptions_delivered
+        if self.chaos is not None:
+            self.stats.chaos_injected = self.chaos.injected
+
+    def health_report(self, run_audit: bool = True) -> HealthReport:
+        """Audit the runtime (by default) and snapshot its health."""
+        if run_audit:
+            findings = self.auditor.audit()
+        else:
+            findings = self.auditor.last_findings
+        if self.chaos is not None:
+            self.stats.chaos_injected = self.chaos.injected
+        stats = self.stats
+        return HealthReport(
+            contained_errors=stats.contained_errors,
+            quarantines=stats.quarantines,
+            quarantined_regions=self.degrade.quarantined_regions(),
+            storm_demotions=stats.storm_demotions,
+            promotions=(stats.ladder_promotions
+                        + stats.quarantine_readmissions),
+            tier_census=self.degrade.tier_census(),
+            audit_runs=stats.audit_runs,
+            audit_repairs=stats.audit_repairs,
+            audit_findings=list(findings),
+            chaos_injected=stats.chaos_injected,
+            incidents=[incident.describe()
+                       for incident in self.degrade.incidents],
+        )
 
     # ------------------------------------------------------------------
     # The dispatcher (Figure 1)
     # ------------------------------------------------------------------
 
     def _dispatch_once(self) -> None:
+        """One dispatcher iteration inside the containment boundary.
+
+        No internal CMS failure may escape this frame: anything that is
+        not guest-semantic (``Halted`` is the guest stopping) is
+        contained — state is rolled back to the last commit, the region
+        is quarantined, and the interpreter makes one step of guaranteed
+        forward progress.  With ``failure_containment`` off (ablation /
+        debugging), internal errors propagate as before.
+        """
+        if not self.config.failure_containment:
+            self._dispatch_inner()
+            return
+        try:
+            self._dispatch_inner()
+        except Halted:
+            raise
+        except Exception as error:  # noqa: BLE001 — the containment point
+            self._contain_dispatch_error(error)
+
+    def _contain_dispatch_error(self, error: Exception) -> None:
+        """Last-resort recovery: rollback, quarantine, interpret."""
+        self.cpu.rollback()
+        self.stats.rollbacks += 1
+        entry = self.state.eip
+        self._contain("dispatch", entry, error)
+        # The interpreter is the trust root: if *it* cannot make
+        # progress there is no sound fallback left, so its own errors
+        # (beyond Halted) propagate.
+        self._interp_step()
+
+    def _contain(self, stage: str, entry_eip: int,
+                 error: Exception) -> None:
+        """Record an incident and quarantine ``entry_eip``'s region."""
+        self.degrade.contain(stage, entry_eip, error)
+
+    def _on_region_demoted(self, entry_eip: int) -> None:
+        """Ladder demotion: retire the region's current translation so
+        the next dispatch observes the new (more conservative) tier."""
+        translation = self.tcache.lookup(entry_eip)
+        if translation is not None:
+            self.tcache.invalidate_translation(translation)
+            for page in translation.pages():
+                self.smc.recompute_page(page)
+        self.controller.reset_region(entry_eip)
+
+    def _maybe_audit(self) -> None:
+        interval = self.config.audit_interval
+        if interval <= 0:
+            return
+        self._dispatches_since_audit += 1
+        if self._dispatches_since_audit < interval:
+            return
+        self._dispatches_since_audit = 0
+        try:
+            self.auditor.audit()
+        except Exception as error:  # noqa: BLE001 — audit must not kill us
+            if not self.config.failure_containment:
+                raise
+            self._contain("audit", self.state.eip, error)
+
+    def _dispatch_inner(self) -> None:
         state = self.state
         machine = self.machine
         # Pending interrupts are delivered at this precise boundary by
@@ -173,6 +288,7 @@ class CodeMorphingSystem:
                 return
 
         self.stats.dispatches += 1
+        self._maybe_audit()
         exit_info = self.cpu.run(
             translation, fuel=self.config.dispatch_fuel_molecules
         )
@@ -181,6 +297,7 @@ class CodeMorphingSystem:
         current.entries += 1
 
         if exit_info.kind is ExitKind.EXITED:
+            self.degrade.note_clean_dispatch(current.entry_eip)
             atom = exit_info.exit_atom
             if atom is not None and atom.prologue_success:
                 self.smc.on_prologue_success(current)
@@ -223,6 +340,20 @@ class CodeMorphingSystem:
             self.stats.interp_instructions += 1
 
     def _try_chain(self, source: Translation, atom) -> None:
+        """Chain an exit, inside its own containment boundary: a failed
+        chain patch simply leaves the exit unchained (one dispatcher
+        round-trip per execution — slower, never wrong)."""
+        if not self.config.failure_containment:
+            self._try_chain_inner(source, atom)
+            return
+        try:
+            if self.chaos is not None:
+                self.chaos.maybe_raise("chain.patch")
+            self._try_chain_inner(source, atom)
+        except Exception as error:  # noqa: BLE001 — containment point
+            self._contain("chain", source.entry_eip, error)
+
+    def _try_chain_inner(self, source: Translation, atom) -> None:
         if atom.exit_target is not None:
             target = self.tcache.lookup(atom.exit_target)
             if target is None or not target.valid:
@@ -264,15 +395,26 @@ class CodeMorphingSystem:
                 return None
         if eip in self.controller.policy_for(eip).stop_addrs:
             return None  # pinned to the interpreter (§3.2)
-        reactivated = self.smc.try_group_reactivation(eip)
-        if reactivated is not None:
-            self.stats.group_reactivations += 1
-            self.trace.record(Event.GROUP_REACTIVATE, eip)
-            return reactivated
-        policy = self.controller.policy_for(eip)
+        if not self.degrade.allow_translation(eip):
+            return None  # quarantined: interpret until probation expires
         try:
+            reactivated = self.smc.try_group_reactivation(eip)
+            if reactivated is not None:
+                self.stats.group_reactivations += 1
+                self.trace.record(Event.GROUP_REACTIVATE, eip)
+                return reactivated
+            policy = self.degrade.clamp(eip, self.controller.policy_for(eip))
             translation = self.translator.translate(eip, policy)
         except TranslationError:
+            # A handled translator outcome — but a region that *keeps*
+            # failing to translate re-tries on every hot dispatch, which
+            # is itself a storm; the ladder eventually quarantines it.
+            self.degrade.note_degrade_event(eip, "translation-error")
+            return None
+        except Exception as error:  # noqa: BLE001 — containment point
+            if not self.config.failure_containment:
+                raise
+            self._contain("translate", eip, error)
             return None
         if translation is None:
             return None
@@ -288,18 +430,37 @@ class CodeMorphingSystem:
         return translation
 
     def _retranslate(self, translation: Translation, policy) -> None:
-        """Replace a failing translation with a more conservative one."""
+        """Replace a failing translation with a more conservative one.
+
+        The failing version is removed from the tcache — and, through
+        removal, unchained in both directions — *before* the translator
+        runs, so that no fallback path (``TranslationError``, a
+        contained internal error, or an untranslatable region) can leave
+        stale chained entries able to re-enter the dead translation.
+        Its page protection is rebuilt in every outcome for the same
+        reason: a dead translation must not keep granules protected.
+        """
         entry = translation.entry_eip
+        self.degrade.note_degrade_event(entry, "retranslate")
         self.tcache.invalidate_translation(translation)
+        stale_pages = translation.pages()
+        replacement = None
         try:
-            replacement = self.translator.translate(entry, policy)
+            replacement = self.translator.translate(
+                entry, self.degrade.clamp(entry, policy))
         except TranslationError:
-            return
+            pass
+        except Exception as error:  # noqa: BLE001 — containment point
+            if not self.config.failure_containment:
+                raise
+            self._contain("retranslate", entry, error)
         if replacement is None:
+            for page in stale_pages:
+                self.smc.recompute_page(page)
             return
         self.tcache.insert(replacement)
         self.smc.protect_translation(replacement)
-        for page in replacement.pages():
+        for page in stale_pages | replacement.pages():
             self.smc.recompute_page(page)
         self.stats.translations_made += 1
         self.stats.retranslations += 1
@@ -322,6 +483,13 @@ class CodeMorphingSystem:
             else translation.entry_eip,
             kind.name,
         )
+        if kind is not HostFaultKind.PROTECTION:
+            # Storm accounting: the same translation faulting repeatedly
+            # inside the window walks the region down the degradation
+            # ladder (protection-fault storms are throttled through the
+            # SMC manager's invalidation feed instead).
+            self.degrade.note_degrade_event(translation.entry_eip,
+                                            kind.name.lower())
 
         if kind is HostFaultKind.PROTECTION:
             # Inline service already declined: genuine SMC, page-level

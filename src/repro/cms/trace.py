@@ -29,6 +29,11 @@ class Event(enum.Enum):
     REVALIDATE_PASS = "revalidate-pass"
     POLICY_ESCALATE = "policy-escalate"
     TCACHE_FLUSH = "tcache-flush"
+    CONTAINED_ERROR = "contained-error"
+    QUARANTINE = "quarantine"
+    LADDER_DEMOTE = "ladder-demote"
+    LADDER_PROMOTE = "ladder-promote"
+    AUDIT_REPAIR = "audit-repair"
 
 
 @dataclass

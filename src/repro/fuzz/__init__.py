@@ -13,8 +13,8 @@ from repro.fuzz.corpus import (CorpusEntry, entry_from_program, load_corpus,
 from repro.fuzz.genprog import FuzzProgram, generate
 from repro.fuzz.inject import FaultInjector, InjectionEvent, InjectionPlan
 from repro.fuzz.oracle import (CampaignResult, DialVariant, Mismatch,
-                               compare, default_matrix, execute,
-                               run_campaign, run_differential,
+                               chaos_matrix, compare, default_matrix,
+                               execute, run_campaign, run_differential,
                                variant_by_name)
 from repro.fuzz.shrink import shrink_program
 
@@ -27,6 +27,7 @@ __all__ = [
     "InjectionEvent",
     "InjectionPlan",
     "Mismatch",
+    "chaos_matrix",
     "compare",
     "default_matrix",
     "entry_from_program",

@@ -60,6 +60,32 @@ def default_matrix() -> tuple[DialVariant, ...]:
                     replace(_BASE, translation_groups=False,
                             self_revalidation=False, stylized_smc=False)),
         DialVariant("seed-paths", _BASE.seed_performance()),
+        # Every campaign also exercises the conservative rungs of the
+        # degradation ladder: regions start (and stay) at NO_REORDER, so
+        # the clamped-policy translation paths are differentially
+        # checked even when no storm occurs.
+        DialVariant("degraded-ladder",
+                    replace(_BASE, degrade_tier_floor=2,
+                            ladder_promote_clean=8)),
+    )
+
+
+def chaos_matrix(variants: tuple[DialVariant, ...], rate: float,
+                 seed: int) -> tuple[DialVariant, ...]:
+    """Arm every variant with chaos injection at ``rate``.
+
+    The reference engine stays chaos-free (it never translates), so a
+    chaos campaign checks the full containment contract: injected
+    internal translator failures must never change architectural
+    outcomes — only make the run slower.
+    """
+    return tuple(
+        DialVariant(
+            f"{variant.name}+chaos",
+            replace(variant.config, chaos_rate=rate,
+                    chaos_seed=seed * 7_919 + index),
+        )
+        for index, variant in enumerate(variants)
     )
 
 

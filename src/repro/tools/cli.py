@@ -8,6 +8,8 @@ Subcommands::
     repro-cms disasm <workload>          # disassemble the guest program
     repro-cms translations <workload>    # dump translated molecules
     repro-cms trace <workload>           # dump the CMS event trace
+    repro-cms health [workloads...]      # self-audit + health report
+                                         # (also installed as repro-health)
 
 Configuration toggles (for ``run``/``trace``/``translations``):
 ``--no-reorder``, ``--no-alias-hw``, ``--no-fine-grain``,
@@ -161,6 +163,84 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro-health — run workloads, self-audit the runtime, report health
+# ----------------------------------------------------------------------
+
+# A representative default slice: a boot (paging, interrupts), a
+# self-modifying game (SMC ladder), and an alias-heavy app (speculation
+# recovery) — the three ways CMS state usually goes wrong.
+DEFAULT_HEALTH_WORKLOADS = ("dos_boot", "quake_demo2", "alias_stress")
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    from repro.cms.system import CodeMorphingSystem
+
+    config = config_from_args(args)
+    overrides = {}
+    if args.chaos_rate > 0.0:
+        overrides["chaos_rate"] = args.chaos_rate
+        overrides["chaos_seed"] = args.chaos_seed
+    if args.audit_interval is not None:
+        overrides["audit_interval"] = args.audit_interval
+    if overrides:
+        config = replace(config, **overrides)
+    names = (workload_names() if args.all
+             else (args.workloads or list(DEFAULT_HEALTH_WORKLOADS)))
+    unhealthy = []
+    for name in names:
+        workload = get_workload(name)
+        machine, entry = workload.build_machine()
+        system = CodeMorphingSystem(machine, config)
+        result = system.run(entry,
+                            max_instructions=workload.max_instructions)
+        report = system.health_report()
+        print(f"== {name}: halted={result.halted} "
+              f"({result.guest_instructions} guest instructions)")
+        print(report.describe())
+        print()
+        if not report.healthy:
+            unhealthy.append(name)
+    if unhealthy:
+        verdict = ("contained (expected under chaos injection)"
+                   if args.chaos_rate > 0.0 else "NOT healthy")
+        print(f"{len(unhealthy)}/{len(names)} workloads {verdict}: "
+              f"{', '.join(unhealthy)}")
+        return 0 if args.chaos_rate > 0.0 else 1
+    print(f"all {len(names)} workloads healthy")
+    return 0
+
+
+def build_health_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-health",
+        description="Run workloads under CMS, self-audit the runtime "
+                    "invariants, and print a health report",
+    )
+    add_health_flags(parser)
+    add_config_flags(parser)
+    return parser
+
+
+def add_health_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workloads", nargs="*",
+                        help="workload names (default: "
+                             f"{', '.join(DEFAULT_HEALTH_WORKLOADS)})")
+    parser.add_argument("--all", action="store_true",
+                        help="audit every registered workload")
+    parser.add_argument("--chaos-rate", type=float, default=0.0,
+                        help="inject internal translator failures at "
+                             "this rate (demonstrates containment)")
+    parser.add_argument("--chaos-seed", type=int, default=0)
+    parser.add_argument("--audit-interval", type=int, default=None,
+                        help="dispatches between periodic self-audits "
+                             "(default: CMSConfig.audit_interval)")
+
+
+def health_main(argv: list[str] | None = None) -> int:
+    return cmd_health(build_health_parser().parse_args(argv))
+
+
+# ----------------------------------------------------------------------
 # repro-fuzz — the differential fuzzing campaign driver
 # ----------------------------------------------------------------------
 
@@ -184,6 +264,14 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     parser.add_argument("--variants", default=None,
                         help="comma-separated dial variant names "
                              "(default: full matrix)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="chaos mode: deterministically inject "
+                             "internal translator failures into every "
+                             "CMS variant; the containment layer must "
+                             "keep outcomes identical to the reference")
+    parser.add_argument("--chaos-rate", type=float, default=0.02,
+                        help="per-operation injection probability in "
+                             "chaos mode (default 0.02)")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where shrunk reproducers are written")
     parser.add_argument("--no-shrink", action="store_true",
@@ -198,7 +286,8 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
 def fuzz_main(argv: list[str] | None = None) -> int:
     from pathlib import Path
 
-    from repro.fuzz import (default_matrix, entry_from_program, run_campaign,
+    from repro.fuzz import (chaos_matrix, default_matrix,
+                            entry_from_program, run_campaign,
                             run_differential, shrink_program, variant_by_name,
                             write_entry)
 
@@ -211,6 +300,11 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     if args.variants:
         matrix = tuple(variant_by_name(name.strip())
                        for name in args.variants.split(","))
+    systems = []
+    cms_factory = None
+    if args.chaos:
+        matrix = chaos_matrix(matrix, args.chaos_rate, args.seed)
+        cms_factory = systems.append  # health accounting after the run
 
     progress = [0]
 
@@ -224,10 +318,20 @@ def fuzz_main(argv: list[str] | None = None) -> int:
         inject_every=args.inject_every,
         max_instructions=args.max_instructions,
         on_program=on_program,
+        cms_factory=cms_factory,
     )
     print(f"campaign: {result.trials} trials over {result.programs} "
           f"programs ({result.injected_programs} with fault injection), "
           f"{len(result.mismatches)} mismatches")
+    if args.chaos:
+        injected = sum(s.chaos.injected for s in systems
+                       if s.chaos is not None)
+        contained = sum(s.stats.contained_errors for s in systems)
+        quarantines = sum(s.stats.quarantines for s in systems)
+        readmitted = sum(s.stats.quarantine_readmissions for s in systems)
+        print(f"chaos: {injected} injected faults, {contained} contained "
+              f"incidents, {quarantines} quarantines "
+              f"({readmitted} re-admitted), 0 uncontained exceptions")
     if result.ok:
         return 0
 
@@ -293,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--count", type=int, default=60)
     add_config_flags(trace_parser)
     trace_parser.set_defaults(func=cmd_trace)
+
+    health_parser = sub.add_parser(
+        "health", help="self-audit the runtime and report health")
+    add_health_flags(health_parser)
+    add_config_flags(health_parser)
+    health_parser.set_defaults(func=cmd_health)
 
     return parser
 
