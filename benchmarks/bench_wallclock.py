@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 
-from common import BASELINE, print_table, run_timed
+from common import BASELINE, emit_telemetry, print_table, run_timed
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                          "BENCH_wallclock.json")
@@ -148,6 +148,7 @@ def _emit(report: dict) -> None:
     with open(JSON_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    emit_telemetry("bench-wallclock", report)
     table = []
     for key, row in report["workloads"].items():
         table.append((

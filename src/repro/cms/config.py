@@ -93,6 +93,18 @@ class CMSConfig:
     chaos_rate: float = 0.0
     chaos_seed: int = 0
 
+    # Observability (PR 4).  ``obs_enabled`` gates the whole layer —
+    # phase timing, per-region hot-spot attribution, the metrics
+    # registry, and JSONL telemetry; off (the default) the dispatcher
+    # pays one attribute test per phase and runs are guaranteed
+    # molecule-identical to an obs-less build.  ``obs_jsonl_path``
+    # additionally streams events and the run summary to a rotated
+    # JSONL file.  The bucket bounds apply to every histogram the
+    # runtime creates (fixed at construction; deterministic).
+    obs_enabled: bool = False
+    obs_jsonl_path: str | None = None
+    obs_histogram_buckets: tuple[int, ...] = tuple(2**i for i in range(13))
+
     # Wall-clock engineering dials (see EXPERIMENTS.md).  These change
     # how fast the *simulator* runs on the host, never what it computes:
     # molecule counts, CostModel charges, and console output are

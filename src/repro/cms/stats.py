@@ -59,6 +59,26 @@ class CMSStats:
     audit_repairs: int = 0
     chaos_injected: int = 0  # chaos-mode faults raised (and contained)
 
+    def as_dict(self, cost: CostModel | None = None) -> dict:
+        """Flat counter mapping for the metrics registry and telemetry.
+
+        Fault counts are flattened as ``faults.<KIND>``; passing the
+        cost model additionally includes the derived molecule totals so
+        a telemetry record is self-contained.
+        """
+        out: dict = {}
+        for name, value in vars(self).items():
+            if name == "faults":
+                for kind, count in sorted(value.items()):
+                    out[f"faults.{kind}"] = count
+            else:
+                out[name] = value
+        if cost is not None:
+            out["total_molecules"] = self.total_molecules(cost)
+            out["molecules_per_instruction"] = round(
+                self.molecules_per_instruction(cost), 6)
+        return out
+
     def total_molecules(self, cost: CostModel) -> int:
         """Molecule-equivalents for the whole run."""
         return (

@@ -20,7 +20,7 @@ adaptive retranslation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.cache.groups import TranslationGroups
 from repro.cache.tcache import Translation, TranslationCache
@@ -41,6 +41,7 @@ from repro.isa.icache import DecodedInstructionCache
 from repro.machine import Machine
 from repro.memory.finegrain import FineGrainCache
 from repro.memory.protection import ProtectionMap
+from repro.obs import Observability, ObservationBus
 from repro.translator.translator import TranslationError, Translator
 
 
@@ -86,20 +87,36 @@ class CodeMorphingSystem:
         self.groups = TranslationGroups()
         self.stats = CMSStats()
         self.trace = EventTrace()
+        # Observability (PR 4): every runtime event is published on the
+        # bus; the ring-buffer trace is one sink, and with obs enabled
+        # the metrics registry and JSONL telemetry subscribe alongside
+        # it.  ``self.obs is None`` is the disabled fast path — the
+        # dispatcher tests it once per phase.
+        self.bus = ObservationBus()
+        self.bus.add_sink(self.trace)
+        self.obs = Observability(config) if config.obs_enabled else None
+        self._phases = None
+        if self.obs is not None:
+            for sink in self.obs.event_sinks():
+                self.bus.add_sink(sink)
+            self._phases = self.obs.phases
         self.controller = AdaptiveController(config)
         self.degrade = DegradationManager(
-            config, self.stats, trace=self.trace,
+            config, self.stats, trace=self.bus,
             clock=lambda: self.machine.instructions_retired,
         )
         self.degrade.on_demote = self._on_region_demoted
         self.auditor = RuntimeAuditor(self)
         self.smc = SMCManager(config, self.tcache, self.groups,
                               self.protection, machine, self.stats,
-                              self.controller, trace=self.trace,
+                              self.controller, trace=self.bus,
                               degrade=self.degrade)
 
         self.interpreter.store_hook = self.smc.on_interpreter_store
-        self.cpu.protection_service = self.smc.service_inline
+        if self._phases is None:
+            self.cpu.protection_service = self.smc.service_inline
+        else:
+            self.cpu.protection_service = self._timed_inline_service
         self.machine.bus.store_observers.append(self.smc.on_ram_write)
         self.tcache.on_flush = self._on_tcache_flush
         self.tcache.on_evict = self._on_tcache_evict
@@ -169,6 +186,19 @@ class CodeMorphingSystem:
             self.interpreter.exceptions_delivered
         if self.chaos is not None:
             self.stats.chaos_injected = self.chaos.injected
+        if self.obs is not None:
+            self.obs.finalize(
+                self.stats.as_dict(self.config.cost),
+                run_info={
+                    "halted": self._halted,
+                    "guest_instructions": self.stats.guest_instructions,
+                },
+            )
+
+    def _timed_inline_service(self, fault: HostFault) -> bool:
+        """`service_inline` under the smc-service phase (obs on)."""
+        with self._phases.phase("smc-service"):
+            return self.smc.service_inline(fault)
 
     def health_report(self, run_audit: bool = True) -> HealthReport:
         """Audit the runtime (by default) and snapshot its health."""
@@ -179,7 +209,7 @@ class CodeMorphingSystem:
         if self.chaos is not None:
             self.stats.chaos_injected = self.chaos.injected
         stats = self.stats
-        return HealthReport(
+        report = HealthReport(
             contained_errors=stats.contained_errors,
             quarantines=stats.quarantines,
             quarantined_regions=self.degrade.quarantined_regions(),
@@ -194,6 +224,10 @@ class CodeMorphingSystem:
             incidents=[incident.describe()
                        for incident in self.degrade.incidents],
         )
+        if self.obs is not None and self.obs.telemetry is not None:
+            self.obs.telemetry.emit("health", asdict(report))
+            self.obs.telemetry.flush()
+        return report
 
     # ------------------------------------------------------------------
     # The dispatcher (Figure 1)
@@ -221,8 +255,7 @@ class CodeMorphingSystem:
 
     def _contain_dispatch_error(self, error: Exception) -> None:
         """Last-resort recovery: rollback, quarantine, interpret."""
-        self.cpu.rollback()
-        self.stats.rollbacks += 1
+        self._rollback()
         entry = self.state.eip
         self._contain("dispatch", entry, error)
         # The interpreter is the trust root: if *it* cannot make
@@ -254,7 +287,12 @@ class CodeMorphingSystem:
             return
         self._dispatches_since_audit = 0
         try:
-            self.auditor.audit()
+            phases = self._phases
+            if phases is None:
+                self.auditor.audit()
+            else:
+                with phases.phase("audit"):
+                    self.auditor.audit()
         except Exception as error:  # noqa: BLE001 — audit must not kill us
             if not self.config.failure_containment:
                 raise
@@ -282,19 +320,42 @@ class CodeMorphingSystem:
             return
         translation = self.tcache.lookup(eip)
         if translation is None or not translation.valid:
-            translation = self._maybe_translate(eip)
+            phases = self._phases
+            if phases is None:
+                translation = self._maybe_translate(eip)
+            else:
+                with phases.phase("translate"):
+                    translation = self._maybe_translate(eip)
             if translation is None:
                 self._interp_step()
                 return
 
         self.stats.dispatches += 1
         self._maybe_audit()
-        exit_info = self.cpu.run(
-            translation, fuel=self.config.dispatch_fuel_molecules
-        )
+        obs = self.obs
+        if obs is None:
+            exit_info = self.cpu.run(
+                translation, fuel=self.config.dispatch_fuel_molecules
+            )
+        else:
+            retired_before = machine.instructions_retired
+            molecules_before = self.cpu.molecules_executed
+            with obs.phases.phase("execute"):
+                exit_info = self.cpu.run(
+                    translation, fuel=self.config.dispatch_fuel_molecules
+                )
         self.stats.chains_followed += exit_info.chains_followed
         current = exit_info.translations_entered[-1]
         current.entries += 1
+        if obs is not None:
+            # Committed work only: instructions_retired ticks at commit
+            # and this reading precedes any rollback below, so faulted
+            # (uncommitted) progress is never attributed to the region.
+            obs.note_dispatch(
+                current.entry_eip,
+                machine.instructions_retired - retired_before,
+                self.cpu.molecules_executed - molecules_before,
+            )
 
         if exit_info.kind is ExitKind.EXITED:
             self.degrade.note_clean_dispatch(current.entry_eip)
@@ -306,23 +367,24 @@ class CodeMorphingSystem:
                 self._try_chain(current, atom)
             return
         if exit_info.kind is ExitKind.INTERRUPT:
-            self.cpu.rollback()
-            self.stats.rollbacks += 1
-            self.trace.record(Event.INTERRUPT, self.state.eip)
+            self._rollback(current)
+            self.bus.record(Event.INTERRUPT, self.state.eip)
             return  # delivered at the top of the next iteration
         if exit_info.kind is ExitKind.FUEL:
-            self.cpu.rollback()
-            self.stats.rollbacks += 1
+            self._rollback(current)
             self.stats.fuel_exits += 1
             self._interp_step()
             return
         # FAULT
         assert exit_info.fault is not None
-        self.cpu.rollback()
-        self.stats.rollbacks += 1
-        self.trace.record(Event.ROLLBACK, self.state.eip,
-                          exit_info.fault.kind.name)
-        self._handle_fault(exit_info.fault, current)
+        self._rollback(current)
+        self.bus.record(Event.ROLLBACK, self.state.eip,
+                        exit_info.fault.kind.name)
+        if self._phases is None:
+            self._handle_fault(exit_info.fault, current)
+        else:
+            with self._phases.phase("fault-service"):
+                self._handle_fault(exit_info.fault, current)
 
     def _identity_mapped(self, eip: int) -> bool:
         """Translations are only reused for identity-mapped code."""
@@ -334,10 +396,29 @@ class CodeMorphingSystem:
         except GuestException:
             return False  # the fetch fault will surface in the interpreter
 
+    def _rollback(self, translation: Translation | None = None) -> None:
+        """Roll host state back, under the rollback phase when obs on."""
+        phases = self._phases
+        if phases is None:
+            self.cpu.rollback()
+        else:
+            with phases.phase("rollback"):
+                self.cpu.rollback()
+            if translation is not None:
+                self.obs.note_rollback(translation.entry_eip)
+        self.stats.rollbacks += 1
+
     def _interp_step(self) -> None:
-        outcome = self.interpreter.step()
+        phases = self._phases
+        if phases is None:
+            outcome = self.interpreter.step()
+        else:
+            with phases.phase("interpret"):
+                outcome = self.interpreter.step()
         if outcome.instr is not None or outcome.took_exception:
             self.stats.interp_instructions += 1
+            if phases is not None:
+                self.obs.note_interp()
 
     def _try_chain(self, source: Translation, atom) -> None:
         """Chain an exit, inside its own containment boundary: a failed
@@ -372,7 +453,7 @@ class CodeMorphingSystem:
             self.tcache.chain_indirect(source, atom, target, observed)
             self.stats.indirect_chains += 1
         self.stats.chain_patches += 1
-        self.trace.record(Event.CHAIN, source.entry_eip,
+        self.bus.record(Event.CHAIN, source.entry_eip,
                           f"-> {target.entry_eip:#x}")
 
     # ------------------------------------------------------------------
@@ -401,7 +482,7 @@ class CodeMorphingSystem:
             reactivated = self.smc.try_group_reactivation(eip)
             if reactivated is not None:
                 self.stats.group_reactivations += 1
-                self.trace.record(Event.GROUP_REACTIVATE, eip)
+                self.bus.record(Event.GROUP_REACTIVATE, eip)
                 return reactivated
             policy = self.degrade.clamp(eip, self.controller.policy_for(eip))
             translation = self.translator.translate(eip, policy)
@@ -425,8 +506,10 @@ class CodeMorphingSystem:
         self.stats.translations_made += 1
         self.stats.guest_instructions_translated += \
             translation.guest_instr_count
-        self.trace.record(Event.TRANSLATE, eip,
-                          translation.policy.describe())
+        if self.obs is not None:
+            self.obs.note_translation(eip, translation.guest_instr_count)
+        self.bus.record(Event.TRANSLATE, eip,
+                        translation.policy.describe())
         return translation
 
     def _retranslate(self, translation: Translation, policy) -> None:
@@ -445,9 +528,15 @@ class CodeMorphingSystem:
         self.tcache.invalidate_translation(translation)
         stale_pages = translation.pages()
         replacement = None
+        phases = self._phases
         try:
-            replacement = self.translator.translate(
-                entry, self.degrade.clamp(entry, policy))
+            if phases is None:
+                replacement = self.translator.translate(
+                    entry, self.degrade.clamp(entry, policy))
+            else:
+                with phases.phase("translate"):
+                    replacement = self.translator.translate(
+                        entry, self.degrade.clamp(entry, policy))
         except TranslationError:
             pass
         except Exception as error:  # noqa: BLE001 — containment point
@@ -464,7 +553,9 @@ class CodeMorphingSystem:
             self.smc.recompute_page(page)
         self.stats.translations_made += 1
         self.stats.retranslations += 1
-        self.trace.record(Event.RETRANSLATE, entry, policy.describe())
+        if self.obs is not None:
+            self.obs.note_translation(entry, replacement.guest_instr_count)
+        self.bus.record(Event.RETRANSLATE, entry, policy.describe())
         self.stats.guest_instructions_translated += \
             replacement.guest_instr_count
 
@@ -477,7 +568,9 @@ class CodeMorphingSystem:
         kind = fault.kind
         self.stats.faults[kind.name] += 1
         translation.fault_counts[kind] += 1
-        self.trace.record(
+        if self.obs is not None:
+            self.obs.note_fault(translation.entry_eip)
+        self.bus.record(
             Event.FAULT,
             fault.guest_addr if fault.guest_addr is not None
             else translation.entry_eip,
@@ -495,7 +588,12 @@ class CodeMorphingSystem:
             # Inline service already declined: genuine SMC, page-level
             # protection, or a spurious fault needing adaptation.  The
             # faulting store then re-executes through the interpreter.
-            self.smc.on_protection_fault(fault)
+            phases = self._phases
+            if phases is None:
+                self.smc.on_protection_fault(fault)
+            else:
+                with phases.phase("smc-service"):
+                    self.smc.on_protection_fault(fault)
             self._interp_step()
             return
         if kind is HostFaultKind.SELF_CHECK:
@@ -505,13 +603,13 @@ class CodeMorphingSystem:
             genuine = self._recovery_interpret(fault, translation)
             if genuine:
                 self.stats.genuine_guest_faults += 1
-                self.trace.record(Event.GENUINE_FAULT, fault.guest_addr)
+                self.bus.record(Event.GENUINE_FAULT, fault.guest_addr)
             else:
                 self.stats.speculative_guest_faults += 1
-                self.trace.record(Event.SPECULATIVE_FAULT, fault.guest_addr)
+                self.bus.record(Event.SPECULATIVE_FAULT, fault.guest_addr)
             policy = self.controller.note_fault(translation, fault, genuine)
             if policy is not None:
-                self.trace.record(Event.POLICY_ESCALATE,
+                self.bus.record(Event.POLICY_ESCALATE,
                                   translation.entry_eip, policy.describe())
                 self._retranslate(translation, policy)
             return
@@ -522,7 +620,7 @@ class CodeMorphingSystem:
         # mid-region addresses becoming anchors.
         policy = self.controller.note_fault(translation, fault, None)
         if policy is not None:
-            self.trace.record(Event.POLICY_ESCALATE, translation.entry_eip,
+            self.bus.record(Event.POLICY_ESCALATE, translation.entry_eip,
                               policy.describe())
             self._retranslate(translation, policy)
         self._recovery_interpret(fault, translation)
@@ -583,7 +681,7 @@ class CodeMorphingSystem:
 
     def _on_tcache_flush(self) -> None:
         self.protection.clear()
-        self.trace.record(Event.TCACHE_FLUSH)
+        self.bus.record(Event.TCACHE_FLUSH)
 
     def _on_tcache_evict(self, victims) -> None:
         """Rebuild protection for pages the cold generation occupied."""

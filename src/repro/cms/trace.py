@@ -52,12 +52,22 @@ class TraceRecord:
 
 
 class EventTrace:
-    """Bounded event log with counting and simple querying."""
+    """Bounded event log with counting and simple querying.
+
+    Counting semantics (kept consistent with the bounded ring):
+    ``counts`` tallies only the records *currently in the ring* — when
+    the ring evicts its oldest record, that record leaves ``counts``
+    too, so the two views never disagree about what the trace holds.
+    ``lifetime_counts`` is the monotone all-time total per event kind;
+    it grows one integer per event *kind* (a small fixed set), never
+    per event, so it is bounded regardless of run length.
+    """
 
     def __init__(self, capacity: int = 4096, enabled: bool = True) -> None:
         self.enabled = enabled
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
-        self.counts: Counter = Counter()
+        self.counts: Counter = Counter()  # records still in the ring
+        self.lifetime_counts: Counter = Counter()  # all-time totals
         self._sequence = 0
 
     def record(self, event: Event, eip: int | None = None,
@@ -65,8 +75,15 @@ class EventTrace:
         if not self.enabled:
             return
         self._sequence += 1
+        self.lifetime_counts[event] += 1
         self.counts[event] += 1
-        self._records.append(
+        records = self._records
+        if len(records) == records.maxlen:
+            evicted = records[0]
+            self.counts[evicted.event] -= 1
+            if not self.counts[evicted.event]:
+                del self.counts[evicted.event]
+        records.append(
             TraceRecord(self._sequence, event, eip, detail)
         )
 

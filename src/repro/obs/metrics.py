@@ -1,0 +1,181 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the deterministic half of the observability layer: it
+never reads a clock, so any metric derived from it is bit-identical
+between runs of the same workload.  Wall-clock data lives exclusively
+in :mod:`repro.obs.phases`; keeping the two apart is what lets the
+perf-regression gate treat counter metrics as exact and timing metrics
+as advisory (see ``benchmarks/compare.py``).
+
+Histogram buckets are fixed at construction (Prometheus-style ``le``
+upper bounds with an implicit ``+Inf`` overflow bucket), so snapshots
+of two runs are structurally comparable without re-binning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default histogram upper bounds: powers of two covering one guest
+#: instruction up to a whole dispatch-fuel quantum of molecules.
+DEFAULT_BUCKETS: tuple[int, ...] = tuple(2**i for i in range(13))
+
+
+@dataclass
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class GaugeMetric:
+    """A point-in-time value (set, not accumulated)."""
+
+    name: str
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class HistogramMetric:
+    """Fixed-boundary histogram of a deterministic quantity.
+
+    ``bounds`` are inclusive upper limits; an observation lands in the
+    first bucket whose bound is >= the value, or in the implicit
+    overflow bucket past the last bound.  ``counts`` therefore has
+    ``len(bounds) + 1`` entries.
+    """
+
+    name: str
+    bounds: tuple[int, ...]
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: int = 0
+    min_seen: int | None = None
+    max_seen: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name}: no bucket bounds")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {self.name}: bounds must strictly increase"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: int) -> None:
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_seen is None or value < self.min_seen:
+            self.min_seen = value
+        if self.max_seen is None or value > self.max_seen:
+            self.max_seen = value
+
+    def _bucket_index(self, value: int) -> int:
+        # Linear scan: bucket lists are short and the registry sits off
+        # the per-instruction hot path (per-dispatch at worst).
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min_seen = None
+        self.max_seen = None
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_seen,
+            "max": self.max_seen,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and snapshot as one dict."""
+
+    def __init__(
+        self, histogram_buckets: tuple[int, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.default_buckets = tuple(histogram_buckets)
+        self._counters: dict[str, CounterMetric] = {}
+        self._gauges: dict[str, GaugeMetric] = {}
+        self._histograms: dict[str, HistogramMetric] = {}
+
+    # -- creation / lookup -------------------------------------------------
+
+    def counter(self, name: str) -> CounterMetric:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = CounterMetric(name)
+        return metric
+
+    def gauge(self, name: str) -> GaugeMetric:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = GaugeMetric(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[int, ...] | None = None
+    ) -> HistogramMetric:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = HistogramMetric(
+                name, tuple(bounds or self.default_buckets)
+            )
+        return metric
+
+    # -- bulk helpers ------------------------------------------------------
+
+    def set_counters(self, values: dict[str, int], prefix: str = "") -> None:
+        """Load a flat mapping (e.g. ``CMSStats.as_dict()``) as counters."""
+        for name, value in values.items():
+            self.counter(prefix + name).value = value
+
+    def snapshot(self) -> dict:
+        """Everything, as plain JSON-serializable data."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric but keep registrations (and bucket shapes)."""
+        for metric in self._counters.values():
+            metric.reset()
+        for metric in self._gauges.values():
+            metric.reset()
+        for metric in self._histograms.values():
+            metric.reset()

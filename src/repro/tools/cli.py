@@ -8,6 +8,7 @@ Subcommands::
     repro-cms disasm <workload>          # disassemble the guest program
     repro-cms translations <workload>    # dump translated molecules
     repro-cms trace <workload>           # dump the CMS event trace
+    repro-cms top <workload>             # per-region hot-spot profile
     repro-cms health [workloads...]      # self-audit + health report
                                          # (also installed as repro-health)
 
@@ -15,6 +16,9 @@ Configuration toggles (for ``run``/``trace``/``translations``):
 ``--no-reorder``, ``--no-alias-hw``, ``--no-fine-grain``,
 ``--no-revalidation``, ``--no-groups``, ``--force-self-check``,
 ``--no-adaptive``, ``--threshold N``, ``--interp-only``.
+Observability: ``--obs`` enables the metrics/phase/hot-spot layer,
+``--obs-jsonl PATH`` additionally streams JSONL telemetry (implies
+``--obs``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import sys
 from dataclasses import replace
 
 from repro.cms.config import CMSConfig
+from repro.obs.hotspots import SORT_KEYS
 from repro.workloads import get_workload, run_workload, workload_names
 
 
@@ -47,6 +52,11 @@ def config_from_args(args: argparse.Namespace) -> CMSConfig:
         overrides["force_self_check"] = True
     if getattr(args, "no_adaptive", False):
         overrides["adaptive_retranslation"] = False
+    if getattr(args, "obs", False):
+        overrides["obs_enabled"] = True
+    if getattr(args, "obs_jsonl", None):
+        overrides["obs_enabled"] = True
+        overrides["obs_jsonl_path"] = args.obs_jsonl
     config = replace(config, **overrides)
     if getattr(args, "interp_only", False):
         config = config.interpreter_only()
@@ -60,6 +70,11 @@ def add_config_flags(parser: argparse.ArgumentParser) -> None:
                  "no-revalidation", "no-groups", "force-self-check",
                  "no-adaptive", "interp-only"):
         parser.add_argument(f"--{flag}", action="store_true")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the observability layer")
+    parser.add_argument("--obs-jsonl", metavar="PATH", default=None,
+                        help="stream JSONL telemetry to PATH "
+                             "(implies --obs)")
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -84,6 +99,39 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"frames    : {result.frames}")
     print()
     print(result.system.stats.summary(config.cost))
+    if result.system.obs is not None:
+        print()
+        print(result.system.obs.phases.describe())
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Per-region hot-spot ranking (runs with observability forced on)."""
+    from repro.cms.system import CodeMorphingSystem
+
+    workload = get_workload(args.workload)
+    config = config_from_args(args)
+    config = replace(config, obs_enabled=True)
+    machine, entry = workload.build_machine()
+    system = CodeMorphingSystem(machine, config)
+    result = system.run(entry, max_instructions=workload.max_instructions)
+    obs = system.obs
+    print(f"workload  : {workload.name} ({workload.description})")
+    print(f"halted    : {result.halted}  "
+          f"guest instructions: {result.guest_instructions}")
+    print()
+    print(f"top {args.count} regions by {args.sort}:")
+    print(f"{'entry':>10} {'instructions':>13} {'molecules':>11} "
+          f"{'dispatches':>10} {'faults':>7} {'trans':>6} tier")
+    for region in obs.hotspots.top(args.count, args.sort):
+        tier = system.degrade.tier_of(region.entry_eip).name
+        print(f"{region.entry_eip:>#10x} {region.instructions:>13} "
+              f"{region.molecules:>11} {region.dispatches:>10} "
+              f"{region.faults:>7} {region.translations:>6} {tier}")
+    print(f"{'(interp)':>10} {obs.hotspots.interp_instructions:>13} "
+          f"{'-':>11} {'-':>10} {'-':>7} {'-':>6} untranslated pool")
+    print()
+    print(obs.phases.describe())
     return 0
 
 
@@ -155,8 +203,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     system.run(entry, max_instructions=workload.max_instructions)
     print(system.trace.dump(args.count))
     print()
-    print("event totals:")
-    for event, count in sorted(system.trace.counts.items(),
+    print("event totals (lifetime):")
+    for event, count in sorted(system.trace.lifetime_counts.items(),
                                key=lambda item: -item[1]):
         print(f"  {event.value:<20} {count}")
     return 0
@@ -280,6 +328,9 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
                         help="print the dial matrix and exit")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-program progress")
+    parser.add_argument("--obs-jsonl", metavar="PATH", default=None,
+                        help="append a campaign-summary telemetry "
+                             "record to PATH")
     return parser
 
 
@@ -323,6 +374,19 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     print(f"campaign: {result.trials} trials over {result.programs} "
           f"programs ({result.injected_programs} with fault injection), "
           f"{len(result.mismatches)} mismatches")
+    if args.obs_jsonl:
+        from repro.obs import TelemetrySink
+
+        with TelemetrySink(args.obs_jsonl, source="fuzz") as sink:
+            sink.emit("fuzz-campaign", {
+                "budget": args.budget,
+                "seed": args.seed,
+                "trials": result.trials,
+                "programs": result.programs,
+                "injected_programs": result.injected_programs,
+                "mismatches": len(result.mismatches),
+                "chaos": bool(args.chaos),
+            })
     if args.chaos:
         injected = sum(s.chaos.injected for s in systems
                        if s.chaos is not None)
@@ -397,6 +461,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--count", type=int, default=60)
     add_config_flags(trace_parser)
     trace_parser.set_defaults(func=cmd_trace)
+
+    top_parser = sub.add_parser(
+        "top", help="per-region hot-spot profile (forces --obs)")
+    top_parser.add_argument("workload")
+    top_parser.add_argument("--count", type=int, default=10)
+    top_parser.add_argument("--sort", default="instructions",
+                            choices=list(SORT_KEYS))
+    add_config_flags(top_parser)
+    top_parser.set_defaults(func=cmd_top)
 
     health_parser = sub.add_parser(
         "health", help="self-audit the runtime and report health")

@@ -89,7 +89,7 @@ class TestCLI:
         assert main(["trace", "gcc", "--threshold", "6"]) == 0
         out = capsys.readouterr().out
         assert "translate" in out
-        assert "event totals:" in out
+        assert "event totals (lifetime):" in out
 
     def test_config_flags_apply(self, capsys):
         assert main(["run", "eqntott", "--no-reorder",

@@ -23,8 +23,19 @@ class TestEventTraceUnit:
         for i in range(10):
             trace.record(Event.TRANSLATE, i)
         assert len(trace) == 4
-        assert trace.counts[Event.TRANSLATE] == 10  # counts keep totals
+        # `counts` mirrors the ring; `lifetime_counts` keeps totals.
+        assert trace.counts[Event.TRANSLATE] == 4
+        assert trace.lifetime_counts[Event.TRANSLATE] == 10
         assert trace.last(4)[0].eip == 6
+
+    def test_windowed_counts_drop_evicted_kinds(self):
+        trace = EventTrace(capacity=2)
+        trace.record(Event.FAULT, 0x10)
+        trace.record(Event.TRANSLATE, 0x20)
+        trace.record(Event.TRANSLATE, 0x30)  # evicts the FAULT record
+        assert Event.FAULT not in trace.counts
+        assert trace.counts[Event.TRANSLATE] == 2
+        assert trace.lifetime_counts[Event.FAULT] == 1
 
     def test_disabled_records_nothing(self):
         trace = EventTrace(enabled=False)
@@ -60,7 +71,7 @@ class TestRuntimeTracing:
         """, CMSConfig(translation_threshold=4))
         translates = system.trace.records(Event.TRANSLATE)
         assert translates, "no TRANSLATE events recorded"
-        assert system.trace.counts[Event.TRANSLATE] == \
+        assert system.trace.lifetime_counts[Event.TRANSLATE] == \
             system.stats.translations_made
 
     def test_fault_and_escalation_sequence(self):
