@@ -85,5 +85,15 @@ class TranslationGroups:
     def drop_group(self, entry_eip: int) -> None:
         self._groups.pop(entry_eip, None)
 
+    def entries(self) -> list[int]:
+        """Entry addresses that currently hold at least one version."""
+        return [entry for entry, group in self._groups.items() if group]
+
+    def export_versions(self) -> dict[int, list[Translation]]:
+        """Every group's versions, oldest first (MRU last) — the order
+        ``retire`` must replay to reproduce the same MRU state."""
+        return {entry: list(group.values())
+                for entry, group in self._groups.items() if group}
+
     def clear(self) -> None:
         self._groups.clear()

@@ -8,6 +8,7 @@ the cache fills (the simplest of the historically used CMS policies).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import Counter
 from dataclasses import dataclass, field
@@ -22,6 +23,30 @@ if TYPE_CHECKING:  # avoid a package-level import cycle with repro.translator
     from repro.translator.policies import TranslationPolicy
 
 _ids = itertools.count(1)
+
+
+def digest_bytes(data: bytes) -> str:
+    """Stable hex digest of a byte string (sha256; never the salted
+    builtin ``hash``, which varies across processes and would break
+    snapshot revalidation)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def compute_range_digests(code_ranges: list[tuple[int, int]],
+                          snapshot: bytes) -> tuple[str, ...]:
+    """Per-range digests of a code snapshot.
+
+    ``snapshot`` is the concatenation of the bytes of ``code_ranges`` in
+    order (the layout ``Translation.code_snapshot`` uses); the digests
+    are what persisted translations are revalidated against at load
+    time (§3.6.2 generalized across runs).
+    """
+    digests = []
+    cursor = 0
+    for _, length in code_ranges:
+        digests.append(digest_bytes(snapshot[cursor:cursor + length]))
+        cursor += length
+    return tuple(digests)
 
 
 @dataclass(eq=False)  # identity semantics: hashable, usable in page sets
@@ -39,6 +64,10 @@ class Translation:
     exit_atoms: list[Atom] = field(default_factory=list)
     prologue_label: str | None = None
     prologue_armed: bool = False
+    # Per-range sha256 digests of code_snapshot, captured at translation
+    # time; the snapshot loader checks them against current guest RAM
+    # before re-admitting a persisted translation.
+    range_digests: tuple[str, ...] = ()
     # Runtime statistics.
     entries: int = 0
     executions_molecules: int = 0
@@ -85,6 +114,10 @@ class Translation:
 
     def code_hash(self) -> int:
         return hash(self.code_snapshot)
+
+    def code_digest(self) -> str:
+        """Process-stable identity of the guest bytes this implements."""
+        return digest_bytes(self.code_snapshot)
 
     def describe(self) -> str:
         return (

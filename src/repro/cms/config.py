@@ -105,6 +105,19 @@ class CMSConfig:
     obs_jsonl_path: str | None = None
     obs_histogram_buckets: tuple[int, ...] = tuple(2**i for i in range(13))
 
+    # Persistent translation-cache snapshots (PR 5).  With a path set,
+    # the system reloads a prior run's translations, adaptive policies,
+    # and execution profile at construction time (every translation is
+    # revalidated against current guest RAM, §3.6.2 generalized across
+    # runs); ``snapshot_save`` additionally writes the snapshot back at
+    # ``shutdown()``.  ``snapshot_strict_config`` rejects — whole, never
+    # partially applied — a snapshot taken under a different
+    # speculation/SMC dial set (run-local dials like obs/chaos and the
+    # wall-clock flags are excluded from the comparison).
+    snapshot_path: str | None = None
+    snapshot_save: bool = False
+    snapshot_strict_config: bool = True
+
     # Wall-clock engineering dials (see EXPERIMENTS.md).  These change
     # how fast the *simulator* runs on the host, never what it computes:
     # molecule counts, CostModel charges, and console output are

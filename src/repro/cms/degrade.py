@@ -332,12 +332,23 @@ class RuntimeAuditor:
         findings += self._audit_chains()
         findings += self._audit_groups()
         findings += self._audit_protection()
+        self._audit_controller()
         if findings:
             system.stats.audit_repairs += len(findings)
             for finding in findings:
                 system.trace.record(Event.AUDIT_REPAIR, None, finding)
         self.last_findings = findings
         return findings
+
+    def _audit_controller(self) -> None:
+        """Check the adaptive controller's keys against live regions.
+
+        Stale keys are the *expected* residue of eviction and flushing,
+        not corruption — so this prunes (counted in
+        ``stats.controller_pruned``) without producing findings, and a
+        long healthy run still reports ``audit_repairs == 0``.
+        """
+        self.system.prune_controller()
 
     def _audit_entry_index(self) -> list[str]:
         tcache = self.system.tcache

@@ -46,7 +46,14 @@ class AdaptiveController:
         self.config = config
         self._policies: dict[int, TranslationPolicy] = {}
         self._site_faults: Counter = Counter()
+        # entry -> sha256 of the code bytes the region's policy was
+        # learned against.  When the guest reloads different code at the
+        # same address, version-specific escalations (stop/no-reorder
+        # addresses, region narrowing) must not carry over.
+        self._code_ids: dict[int, str] = {}
         self.escalations = 0
+        self.code_resets = 0
+        self.pruned = 0
 
     # ------------------------------------------------------------------
     # Policy lookup
@@ -90,6 +97,112 @@ class AdaptiveController:
         """
         for key in [k for k in self._site_faults if k[0] == entry_eip]:
             del self._site_faults[key]
+
+    # ------------------------------------------------------------------
+    # Code identity and lifetime (PR 5)
+    # ------------------------------------------------------------------
+
+    def observe_code(self, entry_eip: int, code_digest: str) -> None:
+        """Tie the region's accumulated state to a code identity.
+
+        Called whenever a translation is produced or reactivated for
+        ``entry_eip``.  If the digest differs from the one the policy
+        was learned against, the guest has loaded *different* code at
+        the same address: version-specific escalations (stop /
+        no-reorder / I/O-fence addresses, region narrowing, disabled
+        speculation) are dropped and per-site fault counters reset.
+        What survives is the address's SMC shape — self-checking,
+        self-revalidation, stylized-store sites, grouping — which
+        describes how the location is *rewritten*, not what any one
+        version computes.  Within one code identity policies still only
+        ever accumulate (the monotone-merge guarantee, §3).
+        """
+        previous = self._code_ids.get(entry_eip)
+        if previous == code_digest:
+            return
+        self._code_ids[entry_eip] = code_digest
+        if previous is None:
+            return
+        self.code_resets += 1
+        accumulated = self._policies.pop(entry_eip, None)
+        if accumulated is not None:
+            base = self.base_policy()
+            kept = base.with_(
+                self_check=accumulated.self_check,
+                self_revalidate=accumulated.self_revalidate,
+                stylized_imm_addrs=accumulated.stylized_imm_addrs,
+            )
+            if kept != base:
+                self._policies[entry_eip] = kept
+        self.reset_region(entry_eip)
+
+    def prune(self, live_policy_entries, live_site_entries) -> int:
+        """Drop state for regions that are no longer live.
+
+        ``live_policy_entries`` protects accumulated policies (and the
+        code-identity map) — callers include everything that may
+        re-translate soon, so a pruned policy can only belong to a
+        region that would restart from the base policy anyway.
+        ``live_site_entries`` protects partial fault counts, which are
+        cheap to relearn and prunable more aggressively.  Returns the
+        number of keys removed.
+        """
+        removed = 0
+        for entry in [e for e in self._policies
+                      if e not in live_policy_entries]:
+            del self._policies[entry]
+            removed += 1
+        for entry in [e for e in self._code_ids
+                      if e not in live_policy_entries]:
+            del self._code_ids[entry]
+            removed += 1
+        for key in [k for k in self._site_faults
+                    if k[0] not in live_site_entries]:
+            del self._site_faults[key]
+            removed += 1
+        self.pruned += removed
+        return removed
+
+    def policy_entries(self) -> set[int]:
+        """Entries holding accumulated policy or code-identity state."""
+        return set(self._policies) | set(self._code_ids)
+
+    def site_fault_entries(self) -> set[int]:
+        return {key[0] for key in self._site_faults}
+
+    def export_state(self) -> dict:
+        """JSON-friendly state for the persistent snapshot."""
+        from repro.cache.persist import encode_policy
+
+        site_faults = [
+            [entry, kind.name, site, genuine, count]
+            for (entry, kind, site, genuine), count
+            in sorted(self._site_faults.items(),
+                      key=lambda item: (item[0][0], item[0][1].name,
+                                        item[0][2], item[0][3]))
+            if count > 0
+        ]
+        return {
+            "policies": {str(entry): encode_policy(policy)
+                         for entry, policy
+                         in sorted(self._policies.items())},
+            "site_faults": site_faults,
+            "code_ids": {str(entry): digest for entry, digest
+                         in sorted(self._code_ids.items())},
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Merge snapshot state in (monotone: only via ``set_policy``)."""
+        from repro.cache.persist import decode_policy
+
+        for entry, encoded in state["policies"].items():
+            self.set_policy(int(entry), decode_policy(encoded))
+        for entry, kind_name, site, genuine, count in state["site_faults"]:
+            key = (int(entry), HostFaultKind[kind_name], int(site),
+                   bool(genuine))
+            self._site_faults[key] += int(count)
+        for entry, digest in state["code_ids"].items():
+            self._code_ids.setdefault(int(entry), str(digest))
 
     def note_fault(self, translation: Translation, fault: HostFault,
                    genuine: bool | None) -> TranslationPolicy | None:

@@ -59,6 +59,12 @@ class CMSStats:
     audit_repairs: int = 0
     chaos_injected: int = 0  # chaos-mode faults raised (and contained)
 
+    # Persistent snapshots (PR 5).
+    snapshot_translations_loaded: int = 0  # revalidated and re-registered
+    snapshot_translations_dropped: int = 0  # failed load-time revalidation
+    snapshot_group_versions: int = 0  # retired versions re-parked in groups
+    controller_pruned: int = 0  # stale controller keys removed (not repairs)
+
     def as_dict(self, cost: CostModel | None = None) -> dict:
         """Flat counter mapping for the metrics registry and telemetry.
 
@@ -136,6 +142,14 @@ class CMSStats:
         if self.audit_runs:
             lines.append(f"self-audits          {self.audit_runs:>12}"
                          f" ({self.audit_repairs} repairs)")
+        if self.snapshot_translations_loaded or \
+                self.snapshot_translations_dropped:
+            lines.append(
+                f"snapshot warm start  "
+                f"{self.snapshot_translations_loaded:>12}"
+                f" loaded ({self.snapshot_translations_dropped} dropped,"
+                f" {self.snapshot_group_versions} group versions)"
+            )
         return "\n".join(lines)
 
 

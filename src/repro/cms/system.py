@@ -20,10 +20,12 @@ adaptive retranslation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
 
+from repro.cache import persist
 from repro.cache.groups import TranslationGroups
-from repro.cache.tcache import Translation, TranslationCache
+from repro.cache.tcache import Translation, TranslationCache, digest_bytes
 from repro.cms.config import CMSConfig
 from repro.cms.degrade import (ChaosMonkey, DegradationManager,
                                RuntimeAuditor)
@@ -153,6 +155,21 @@ class CodeMorphingSystem:
             self.translator.translate = chaotic_translate
         self._dispatches_since_audit = 0
 
+        # Persistent snapshot (PR 5): warm-start from a prior run.  The
+        # guest image is already in RAM at construction time, so every
+        # persisted translation can be revalidated against it here.  A
+        # bad snapshot (corrupt, wrong version, mismatched config) must
+        # never prevent a cold start: the error is captured, not raised.
+        self.snapshot_report: persist.SnapshotLoadReport | None = None
+        self.snapshot_error: persist.SnapshotError | None = None
+        self._shutdown_done = False
+        if config.snapshot_path and os.path.exists(config.snapshot_path):
+            try:
+                self.snapshot_report = persist.load_snapshot(
+                    self, config.snapshot_path)
+            except persist.SnapshotError as error:
+                self.snapshot_error = error
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -194,6 +211,96 @@ class CodeMorphingSystem:
                     "guest_instructions": self.stats.guest_instructions,
                 },
             )
+
+    def shutdown(self) -> None:
+        """End-of-run hook: persist the warm-start snapshot when
+        configured.  Idempotent — ``run_workload`` and the fuzz harness
+        call it once the run completes."""
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        config = self.config
+        if config.snapshot_save and config.snapshot_path:
+            self.save_snapshot(config.snapshot_path)
+
+    def save_snapshot(self, path: str) -> dict:
+        """Serialize the cache/controller/profile state to ``path``."""
+        payload = persist.save_snapshot(self, path)
+        self.bus.record(Event.SNAPSHOT_SAVE, None,
+                        f"{len(payload['translations'])} translations")
+        return payload
+
+    def load_snapshot(self, path: str) -> persist.SnapshotLoadReport:
+        """Load (and revalidate) a snapshot into this system."""
+        report = persist.load_snapshot(self, path)
+        self.snapshot_report = report
+        return report
+
+    def register_loaded_translation(self, translation: Translation) -> None:
+        """Admit a snapshot-revalidated translation exactly like a
+        fresh one: tcache insert, fine-grain protection, page-index
+        recompute.  Chain patches were not persisted; the dispatcher
+        re-establishes them lazily on first exit, as after a flush."""
+        self.tcache.insert(translation)
+        self.smc.protect_translation(translation)
+        for page in translation.pages():
+            self.smc.recompute_page(page)
+        self.stats.snapshot_translations_loaded += 1
+        self.bus.record(Event.SNAPSHOT_LOAD, translation.entry_eip)
+
+    def note_snapshot_drop(self, entry_eip: int) -> None:
+        """A persisted translation failed load-time revalidation."""
+        self.stats.snapshot_translations_dropped += 1
+        self.bus.record(Event.SNAPSHOT_DROP, entry_eip)
+
+    # Code-identity window for the adaptive controller: wide enough to
+    # distinguish rewritten first instructions, narrow enough that the
+    # digest is independent of how large a region any one policy selects.
+    _CODE_ID_WINDOW = 16
+
+    def _code_identity(self, entry_eip: int) -> str | None:
+        bus = self.machine.bus
+        for size in (self._CODE_ID_WINDOW, 4, 1):
+            try:
+                return digest_bytes(bus.read_code_bytes(entry_eip, size))
+            except GuestException:
+                continue
+        return None
+
+    def live_policy_entries(self) -> set[int]:
+        """Entries whose accumulated policy must survive pruning.
+
+        Anything that may translate again soon keeps its policy, so the
+        monotone no-bounce guarantee (§3) holds across flushes: resident
+        translations, parked group versions, anchors hot enough to
+        re-cross the threshold, and every ladder-tracked region.
+        """
+        live = {t.entry_eip for t in self.tcache.translations()}
+        live.update(self.groups.entries())
+        threshold = max(1, self.config.translation_threshold // 2)
+        live.update(entry for entry, count
+                    in self.profile.anchor_counts.items()
+                    if count >= threshold)
+        live.update(self.degrade.regions())
+        return live
+
+    def live_site_entries(self) -> set[int]:
+        """Entries whose partial fault counters are worth keeping —
+        only regions with a live translation (resident or grouped);
+        counts are cheap to relearn, so pruning is aggressive."""
+        live = {t.entry_eip for t in self.tcache.translations()}
+        live.update(self.groups.entries())
+        return live
+
+    def prune_controller(self) -> int:
+        """Drop adaptive-controller state for dead regions (PR 5)."""
+        removed = self.controller.prune(self.live_policy_entries(),
+                                        self.live_site_entries())
+        if removed:
+            self.stats.controller_pruned += removed
+            self.bus.record(Event.CONTROLLER_PRUNE, None,
+                            f"{removed} keys")
+        return removed
 
     def _timed_inline_service(self, fault: HostFault) -> bool:
         """`service_inline` under the smc-service phase (obs on)."""
@@ -474,6 +581,13 @@ class CodeMorphingSystem:
             if self.profile.anchor_counts[eip] < \
                     self.config.translation_threshold:
                 return None
+        # Code identity first: if the guest loaded different code at
+        # this address, version-specific escalations (including a stale
+        # interpreter pin in stop_addrs) are reset before they gate
+        # anything.
+        identity = self._code_identity(eip)
+        if identity is not None:
+            self.controller.observe_code(eip, identity)
         if eip in self.controller.policy_for(eip).stop_addrs:
             return None  # pinned to the interpreter (§3.2)
         if not self.degrade.allow_translation(eip):
@@ -682,12 +796,21 @@ class CodeMorphingSystem:
     def _on_tcache_flush(self) -> None:
         self.protection.clear()
         self.bus.record(Event.TCACHE_FLUSH)
+        # The dead generation's controller state goes with it (anchors
+        # survive, so any region hot enough to re-translate keeps its
+        # accumulated policy — the monotone guarantee holds).
+        self.prune_controller()
 
     def _on_tcache_evict(self, victims) -> None:
-        """Rebuild protection for pages the cold generation occupied."""
+        """Rebuild protection for pages the cold generation occupied,
+        and update group residency: a cold-evicted region's retired
+        versions must not linger, or groups leak whole version lists
+        for regions the cache decided were not worth keeping."""
         pages = set()
         for translation in victims:
             pages.update(translation.pages())
+            if self.tcache.lookup(translation.entry_eip) is None:
+                self.groups.drop_group(translation.entry_eip)
         for page in pages:
             self.smc.recompute_page(page)
 

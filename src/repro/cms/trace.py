@@ -34,6 +34,10 @@ class Event(enum.Enum):
     LADDER_DEMOTE = "ladder-demote"
     LADDER_PROMOTE = "ladder-promote"
     AUDIT_REPAIR = "audit-repair"
+    SNAPSHOT_SAVE = "snapshot-save"
+    SNAPSHOT_LOAD = "snapshot-load"
+    SNAPSHOT_DROP = "snapshot-drop"
+    CONTROLLER_PRUNE = "controller-prune"
 
 
 @dataclass

@@ -35,10 +35,17 @@ _BASE = CMSConfig(translation_threshold=4, fault_threshold=2)
 
 @dataclass(frozen=True)
 class DialVariant:
-    """One named point in the CMSConfig dial space."""
+    """One named point in the CMSConfig dial space.
+
+    ``snapshot_roundtrip`` runs the program twice — a cold run that
+    saves a warm-start snapshot, then a warm run that reloads it — and
+    differentially checks the *warm* outcome, so the persistence layer
+    (PR 5) sits inside the fuzzing oracle.
+    """
 
     name: str
     config: CMSConfig
+    snapshot_roundtrip: bool = False
 
 
 def default_matrix() -> tuple[DialVariant, ...]:
@@ -67,6 +74,10 @@ def default_matrix() -> tuple[DialVariant, ...]:
         DialVariant("degraded-ladder",
                     replace(_BASE, degrade_tier_floor=2,
                             ladder_promote_clean=8)),
+        # Persistence (PR 5): cold run saves, warm run reloads and
+        # revalidates; the warm run must still match the interpreter.
+        DialVariant("snapshot-roundtrip", _BASE,
+                    snapshot_roundtrip=True),
     )
 
 
@@ -80,10 +91,11 @@ def chaos_matrix(variants: tuple[DialVariant, ...], rate: float,
     outcomes — only make the run slower.
     """
     return tuple(
-        DialVariant(
-            f"{variant.name}+chaos",
-            replace(variant.config, chaos_rate=rate,
-                    chaos_seed=seed * 7_919 + index),
+        replace(
+            variant,
+            name=f"{variant.name}+chaos",
+            config=replace(variant.config, chaos_rate=rate,
+                           chaos_seed=seed * 7_919 + index),
         )
         for index, variant in enumerate(variants)
     )
@@ -129,6 +141,7 @@ def execute(program: FuzzProgram, config: CMSConfig,
     if program.plan is not None:
         FaultInjector(machine, program.plan)
     result = system.run(entry, max_instructions=max_instructions)
+    system.shutdown()  # persists the warm-start snapshot when configured
     regs, eip, flags = system.state.snapshot()
     ram = bytearray(machine.ram.read_bytes(0, machine.ram.size))
     for start, end in program.ram_masks():
@@ -144,6 +157,36 @@ def execute(program: FuzzProgram, config: CMSConfig,
         interrupts=system.interpreter.interrupts_delivered,
         guest_instructions=result.guest_instructions,
     )
+
+
+def execute_roundtrip(program: FuzzProgram, config: CMSConfig,
+                      max_instructions: int = 400_000,
+                      cms_factory=None) -> RunOutcome:
+    """Run cold (saving a snapshot), then warm (reloading it).
+
+    The warm run starts from a fresh machine, so every persisted
+    translation is revalidated against the pristine program image —
+    translations the cold run made *after* SMC or DMA rewrote code
+    bytes must be dropped at load, never trusted.  The returned warm
+    outcome is what the differential harness compares.
+    """
+    import os
+    import tempfile
+
+    handle, path = tempfile.mkstemp(suffix=".cms-snapshot.json")
+    os.close(handle)
+    os.unlink(path)  # let the cold run's save create it
+    try:
+        execute(program,
+                replace(config, snapshot_path=path, snapshot_save=True),
+                max_instructions, cms_factory)
+        return execute(program,
+                       replace(config, snapshot_path=path,
+                               snapshot_save=False),
+                       max_instructions, cms_factory)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
 
 
 def compare(ref: RunOutcome, cms: RunOutcome) -> list[str]:
@@ -205,8 +248,10 @@ def run_differential(program: FuzzProgram,
         return []
     mismatches = []
     for variant in variants:
-        cms = execute(program, variant.config, max_instructions,
-                      cms_factory=cms_factory)
+        runner = execute_roundtrip if variant.snapshot_roundtrip \
+            else execute
+        cms = runner(program, variant.config, max_instructions,
+                     cms_factory=cms_factory)
         diffs = compare(ref, cms)
         if diffs:
             mismatches.append(Mismatch(program, variant, diffs))

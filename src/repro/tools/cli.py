@@ -11,11 +11,20 @@ Subcommands::
     repro-cms top <workload>             # per-region hot-spot profile
     repro-cms health [workloads...]      # self-audit + health report
                                          # (also installed as repro-health)
+    repro-cms snapshot <action> <path>   # save/load/inspect warm-start
+                                         # snapshots (PR 5)
+
+``top`` and ``health`` also accept ``--session PATH`` (a JSONL
+telemetry file) or ``--snapshot PATH`` (a warm-start snapshot) to
+report offline; inputs produced with ``obs_enabled=False`` yield a
+clear diagnostic and exit status 2 instead of an empty table.
 
 Configuration toggles (for ``run``/``trace``/``translations``):
 ``--no-reorder``, ``--no-alias-hw``, ``--no-fine-grain``,
 ``--no-revalidation``, ``--no-groups``, ``--force-self-check``,
 ``--no-adaptive``, ``--threshold N``, ``--interp-only``.
+Warm start: ``--snapshot-path PATH`` (load), ``--snapshot-save``
+(write back at shutdown), ``--no-strict-snapshot``.
 Observability: ``--obs`` enables the metrics/phase/hot-spot layer,
 ``--obs-jsonl PATH`` additionally streams JSONL telemetry (implies
 ``--obs``).
@@ -57,6 +66,12 @@ def config_from_args(args: argparse.Namespace) -> CMSConfig:
     if getattr(args, "obs_jsonl", None):
         overrides["obs_enabled"] = True
         overrides["obs_jsonl_path"] = args.obs_jsonl
+    if getattr(args, "snapshot_path", None):
+        overrides["snapshot_path"] = args.snapshot_path
+    if getattr(args, "snapshot_save", False):
+        overrides["snapshot_save"] = True
+    if getattr(args, "no_strict_snapshot", False):
+        overrides["snapshot_strict_config"] = False
     config = replace(config, **overrides)
     if getattr(args, "interp_only", False):
         config = config.interpreter_only()
@@ -75,6 +90,16 @@ def add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--obs-jsonl", metavar="PATH", default=None,
                         help="stream JSONL telemetry to PATH "
                              "(implies --obs)")
+    parser.add_argument("--snapshot-path", metavar="PATH", default=None,
+                        help="warm-start from this snapshot when it "
+                             "exists (translations revalidate against "
+                             "guest RAM at load)")
+    parser.add_argument("--snapshot-save", action="store_true",
+                        help="write the snapshot back at shutdown "
+                             "(needs --snapshot-path)")
+    parser.add_argument("--no-strict-snapshot", action="store_true",
+                        help="accept snapshots taken under a different "
+                             "configuration")
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -92,6 +117,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = config_from_args(args)
     result = run_workload(workload, config)
     print(f"workload  : {workload.name} ({workload.description})")
+    if result.system.snapshot_error is not None:
+        print(f"snapshot  : cold start ({result.system.snapshot_error})")
+    elif result.system.snapshot_report is not None:
+        report = result.system.snapshot_report
+        print(f"snapshot  : warm start, {report.loaded} loaded, "
+              f"{report.dropped} dropped, "
+              f"{report.group_versions} group versions")
     print(f"halted    : {result.halted}")
     print(f"output    : {result.console_output.strip()!r}")
     print(f"mol/instr : {result.mpx:.2f}")
@@ -105,10 +137,73 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_hotspot_table(hotspots: dict, count: int, sort: str) -> None:
+    """Render a ``HotSpotProfiler.snapshot()``-shaped mapping."""
+    regions = sorted(hotspots.get("regions", []),
+                     key=lambda r: -r.get(sort, r.get("instructions", 0)))
+    print(f"{'entry':>10} {'instructions':>13} {'molecules':>11} "
+          f"{'dispatches':>10} {'faults':>7} {'trans':>6}")
+    for region in regions[:count]:
+        print(f"{region['entry_eip']:>#10x} {region['instructions']:>13} "
+              f"{region['molecules']:>11} {region['dispatches']:>10} "
+              f"{region['faults']:>7} {region['translations']:>6}")
+    interp = hotspots.get("interp_instructions", 0)
+    print(f"{'(interp)':>10} {interp:>13} {'-':>11} {'-':>10} {'-':>7} "
+          f"{'-':>6}")
+
+
+def _no_obs_data(what: str) -> int:
+    """Satellite 3: a clear diagnosis instead of a traceback/empty
+    table when the input was produced with observability off."""
+    print(f"error: {what} carries no observability data — it was "
+          f"produced with obs_enabled=False.\n"
+          f"Re-run the workload with --obs (or --obs-jsonl PATH, or "
+          f"snapshot-save under --obs) to record per-region profiles.",
+          file=sys.stderr)
+    return 2
+
+
+def _top_offline(args: argparse.Namespace) -> int:
+    """`repro-cms top` against a saved session or snapshot file."""
+    if args.snapshot:
+        from repro.cache.persist import SnapshotError, read_snapshot_file
+
+        try:
+            payload = read_snapshot_file(args.snapshot)
+        except SnapshotError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        obs = payload.get("obs")
+        if not obs or not obs.get("hotspots", {}).get("regions"):
+            return _no_obs_data(f"snapshot {args.snapshot}")
+        print(f"snapshot  : {args.snapshot}")
+        _print_hotspot_table(obs["hotspots"], args.count, args.sort)
+        return 0
+    from repro.obs.telemetry import read_jsonl
+
+    try:
+        records = read_jsonl(args.session)
+    except OSError as error:
+        print(f"error: cannot read session: {error}", file=sys.stderr)
+        return 2
+    summaries = [r for r in records if r.get("kind") == "run-summary"]
+    if not summaries or not summaries[-1].get("hotspots", {}).get("regions"):
+        return _no_obs_data(f"session {args.session}")
+    print(f"session   : {args.session}")
+    _print_hotspot_table(summaries[-1]["hotspots"], args.count, args.sort)
+    return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Per-region hot-spot ranking (runs with observability forced on)."""
     from repro.cms.system import CodeMorphingSystem
 
+    if args.session or args.snapshot:
+        return _top_offline(args)
+    if args.workload is None:
+        print("error: a workload name, --session PATH, or "
+              "--snapshot PATH is required", file=sys.stderr)
+        return 2
     workload = get_workload(args.workload)
     config = config_from_args(args)
     config = replace(config, obs_enabled=True)
@@ -210,6 +305,62 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Save, load-check, or inspect a warm-start snapshot."""
+    from repro.cache.persist import SnapshotError, inspect_snapshot
+
+    if args.action == "inspect":
+        try:
+            info = inspect_snapshot(args.path)
+        except SnapshotError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"snapshot             {info['path']}")
+        print(f"format               {info['format']} "
+              f"v{info['version']}")
+        print(f"config digest        {info['config_digest'][:16]}…")
+        print(f"translations         {info['translations']:>8} "
+              f"({info['resident']} resident, "
+              f"{info['group_versions']} group versions in "
+              f"{info['group_entries']} groups)")
+        print(f"controller policies  {info['controller_policies']:>8}")
+        print(f"profile anchors      {info['profile_anchors']:>8}")
+        print(f"observability data   {'yes' if info['has_obs'] else 'no':>8}")
+        entries = ", ".join(f"{e:#x}" for e in info["resident_entries"][:8])
+        if entries:
+            print(f"resident entries     {entries}")
+        return 0
+
+    if args.workload is None:
+        print(f"error: `snapshot {args.action}` needs a workload name",
+              file=sys.stderr)
+        return 2
+    from repro.cms.system import CodeMorphingSystem
+
+    workload = get_workload(args.workload)
+    config = config_from_args(args)
+    if args.action == "save":
+        config = replace(config, snapshot_path=args.path,
+                         snapshot_save=True)
+        result = run_workload(workload, config)
+        print(f"ran {workload.name}: halted={result.halted}, "
+              f"{result.guest_instructions} guest instructions")
+        print(f"snapshot written to {args.path}")
+        return 0
+    # load: construct the system (which loads + revalidates) and report.
+    config = replace(config, snapshot_path=args.path)
+    machine, _ = workload.build_machine()
+    system = CodeMorphingSystem(machine, config)
+    if system.snapshot_error is not None:
+        print(f"error: {system.snapshot_error}", file=sys.stderr)
+        return 2
+    if system.snapshot_report is None:
+        print(f"error: no snapshot at {args.path}", file=sys.stderr)
+        return 2
+    print(system.snapshot_report.describe())
+    return 0
+
+
 # ----------------------------------------------------------------------
 # repro-health — run workloads, self-audit the runtime, report health
 # ----------------------------------------------------------------------
@@ -220,9 +371,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
 DEFAULT_HEALTH_WORKLOADS = ("dos_boot", "quake_demo2", "alias_stress")
 
 
+def _health_offline(args: argparse.Namespace) -> int:
+    """`repro-cms health` against a saved session or snapshot file."""
+    if getattr(args, "snapshot", None):
+        from repro.cache.persist import SnapshotError, read_snapshot_file
+
+        try:
+            payload = read_snapshot_file(args.snapshot)
+        except SnapshotError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        stats = payload.get("stats")
+        if not stats:
+            return _no_obs_data(f"snapshot {args.snapshot}")
+        print(f"snapshot  : {args.snapshot}")
+        contained = stats.get("contained_errors", 0)
+        repairs = stats.get("audit_repairs", 0)
+        healthy = contained == 0 and repairs == 0
+        print(f"status               "
+              f"{'HEALTHY' if healthy else 'CONTAINED'}")
+        for key in ("contained_errors", "quarantines", "storm_demotions",
+                    "audit_runs", "audit_repairs", "controller_pruned",
+                    "snapshot_translations_loaded",
+                    "snapshot_translations_dropped"):
+            print(f"{key:<30} {stats.get(key, 0):>8}")
+        return 0 if healthy else 1
+    from repro.obs.telemetry import read_jsonl
+
+    try:
+        records = read_jsonl(args.session)
+    except OSError as error:
+        print(f"error: cannot read session: {error}", file=sys.stderr)
+        return 2
+    reports = [r for r in records if r.get("kind") == "health"]
+    if not reports:
+        return _no_obs_data(f"session {args.session}")
+    unhealthy = 0
+    for report in reports:
+        healthy = (report.get("contained_errors", 0) == 0
+                   and report.get("audit_repairs", 0) == 0)
+        unhealthy += 0 if healthy else 1
+        print(f"health record seq={report.get('seq')}: "
+              f"{'HEALTHY' if healthy else 'CONTAINED'} "
+              f"(contained={report.get('contained_errors', 0)}, "
+              f"repairs={report.get('audit_repairs', 0)}, "
+              f"quarantines={report.get('quarantines', 0)})")
+    print(f"{len(reports) - unhealthy}/{len(reports)} health records clean")
+    return 0 if unhealthy == 0 else 1
+
+
 def cmd_health(args: argparse.Namespace) -> int:
     from repro.cms.system import CodeMorphingSystem
 
+    if getattr(args, "session", None) or getattr(args, "snapshot", None):
+        return _health_offline(args)
     config = config_from_args(args)
     overrides = {}
     if args.chaos_rate > 0.0:
@@ -282,6 +484,12 @@ def add_health_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--audit-interval", type=int, default=None,
                         help="dispatches between periodic self-audits "
                              "(default: CMSConfig.audit_interval)")
+    parser.add_argument("--session", metavar="PATH", default=None,
+                        help="report from a saved JSONL telemetry "
+                             "session instead of running")
+    parser.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="report from a warm-start snapshot file "
+                             "instead of running")
 
 
 def health_main(argv: list[str] | None = None) -> int:
@@ -464,12 +672,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     top_parser = sub.add_parser(
         "top", help="per-region hot-spot profile (forces --obs)")
-    top_parser.add_argument("workload")
+    top_parser.add_argument("workload", nargs="?", default=None)
     top_parser.add_argument("--count", type=int, default=10)
     top_parser.add_argument("--sort", default="instructions",
                             choices=list(SORT_KEYS))
+    top_parser.add_argument("--session", metavar="PATH", default=None,
+                            help="rank regions from a saved JSONL "
+                                 "telemetry session instead of running")
+    top_parser.add_argument("--snapshot", metavar="PATH", default=None,
+                            help="rank regions from a warm-start "
+                                 "snapshot file instead of running")
     add_config_flags(top_parser)
     top_parser.set_defaults(func=cmd_top)
+
+    snapshot_parser = sub.add_parser(
+        "snapshot", help="save / load-check / inspect warm-start "
+                         "snapshots")
+    snapshot_parser.add_argument("action",
+                                 choices=("save", "load", "inspect"))
+    snapshot_parser.add_argument("path", help="snapshot file")
+    snapshot_parser.add_argument("workload", nargs="?", default=None,
+                                 help="workload (required for "
+                                      "save/load)")
+    add_config_flags(snapshot_parser)
+    snapshot_parser.set_defaults(func=cmd_snapshot)
 
     health_parser = sub.add_parser(
         "health", help="self-audit the runtime and report health")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cache.tcache import Translation
+from repro.cache.tcache import Translation, compute_range_digests
 from repro.interp.profile import ExecutionProfile
 from repro.translator.codegen import CodegenError, CodeGenerator
 from repro.translator.frontend import Frontend, FrontendError
@@ -96,8 +96,13 @@ class Translator:
         self.stats.speculated_loads += schedule.speculated_loads
         self.stats.hoisted_over_exits += schedule.hoisted_over_exits
         snapshot = self._snapshot(region)
-        return CodeGenerator(policy).generate(region, trace, schedule,
-                                              snapshot)
+        translation = CodeGenerator(policy).generate(region, trace, schedule,
+                                                     snapshot)
+        # Digest capture at translation time: the persistent-snapshot
+        # loader revalidates these against guest RAM (§3.6.2 across runs).
+        translation.range_digests = compute_range_digests(
+            translation.code_ranges, translation.code_snapshot)
+        return translation
 
     def _snapshot(self, region: Region) -> bytes:
         chunks = []

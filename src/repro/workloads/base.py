@@ -60,6 +60,7 @@ def run_workload(workload: Workload,
     machine, entry = workload.build_machine()
     system = CodeMorphingSystem(machine, config)
     result = system.run(entry, max_instructions=workload.max_instructions)
+    system.shutdown()  # persists the warm-start snapshot when configured
     frames = machine.framebuffer.frames if machine.framebuffer else 0
     return WorkloadResult(
         workload=workload,

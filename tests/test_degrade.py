@@ -590,3 +590,76 @@ class TestChaosMatrix:
         result = run_campaign(budget=18, seed=5, variants=variants)
         assert result.ok, "\n".join(m.describe()
                                     for m in result.mismatches)
+
+
+# ----------------------------------------------------------------------
+# Eviction residency and controller lifetime (PR 5 satellites)
+# ----------------------------------------------------------------------
+
+
+class TestEvictionResidency:
+    def test_evict_cold_drops_group_residency(self):
+        """A cold-evicted region must not leak its parked group
+        versions: the system's on_evict hook drops the whole group when
+        the entry is no longer resident."""
+        system, result = run_cms(CALL_HEAVY, FAST)
+        assert result.halted
+        # Park a retired version for a resident entry, plus one for an
+        # entry the cache has already forgotten.
+        resident_entry = system.tcache.translations()[0].entry_eip
+        system.groups.retire(make_translation(entry=resident_entry))
+        system.groups.retire(make_translation(entry=0xDEAD0))
+        victims = system.tcache.evict_cold(fraction=1.0)
+        assert victims
+        for translation in victims:
+            assert system.tcache.lookup(translation.entry_eip) is None
+            assert not system.groups.has_group(translation.entry_eip)
+        # Only the evicted regions' groups were touched.
+        assert system.groups.has_group(0xDEAD0)
+
+    def test_eviction_survivors_keep_groups(self):
+        system, result = run_cms(CALL_HEAVY, FAST)
+        assert result.halted
+        survivor = max(system.tcache.translations(),
+                       key=lambda t: t.entries)
+        survivor.entries += 1_000_000  # decisively hot
+        system.groups.retire(make_translation(entry=survivor.entry_eip))
+        system.tcache.evict_cold(fraction=0.5)
+        assert system.tcache.lookup(survivor.entry_eip) is survivor
+        assert system.groups.has_group(survivor.entry_eip)
+
+
+class TestControllerAudit:
+    def test_audit_prunes_dead_controller_keys(self, live_system):
+        dead = 0xBAD00
+        assert live_system.tcache.lookup(dead) is None
+        live_system.controller.set_policy(
+            dead, live_system.controller.base_policy().with_(
+                self_check=True))
+        pruned_before = live_system.stats.controller_pruned
+        findings = live_system.auditor.audit()
+        assert findings == []  # housekeeping, not a repair
+        assert live_system.stats.audit_repairs == 0
+        assert live_system.stats.controller_pruned > pruned_before
+        assert dead not in live_system.controller.policy_entries()
+
+    def test_audit_keeps_live_controller_keys(self, live_system):
+        entry = live_system.tcache.translations()[0].entry_eip
+        live_system.controller.set_policy(
+            entry, live_system.controller.base_policy().with_(
+                self_check=True))
+        live_system.auditor.audit()
+        assert entry in live_system.controller.policy_entries()
+        assert live_system.controller.policy_for(entry).self_check
+
+    def test_flush_prunes_but_keeps_hot_anchors(self):
+        system, result = run_cms(CALL_HEAVY, FAST)
+        assert result.halted
+        hot = max(system.profile.anchor_counts,
+                  key=system.profile.anchor_counts.get)
+        system.controller.set_policy(
+            hot, system.controller.base_policy().with_(self_check=True))
+        system.tcache.flush()
+        # The hot anchor's policy survives the flush-triggered prune —
+        # the region will re-translate and must not bounce (§3).
+        assert hot in system.controller.policy_entries()

@@ -158,3 +158,140 @@ class TestAccumulation:
         for earlier, later in zip(seen, seen[1:]):
             merged = earlier.merge(later)
             assert merged == later, "escalation must only tighten"
+
+
+class TestCodeIdentity:
+    """PR 5: a region's accumulated policy is tied to a code identity;
+    loading *different* code at the same address drops version-specific
+    escalations (no stale stop/no-reorder pins against new code) while
+    keeping the address's SMC shape."""
+
+    def test_first_observation_only_records(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        controller.observe_code(t.entry_eip, "digest-a")
+        assert controller.code_resets == 0
+        assert 0x1010 in controller.policy_for(t.entry_eip).no_reorder_addrs
+
+    def test_same_digest_is_a_noop(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        controller.observe_code(t.entry_eip, "digest-a")
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        controller.observe_code(t.entry_eip, "digest-a")
+        assert controller.code_resets == 0
+        assert 0x1010 in controller.policy_for(t.entry_eip).no_reorder_addrs
+
+    def test_new_identity_drops_version_specific_escalations(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        controller.observe_code(t.entry_eip, "digest-a")
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        controller.note_fault(
+            t, fault(HostFaultKind.SPEC_MMIO, 0x1020), None)
+        controller.observe_code(t.entry_eip, "digest-b")
+        assert controller.code_resets == 1
+        assert controller.policy_for(t.entry_eip) == \
+            controller.base_policy()
+        # Per-site fault counters restarted with the new code too.
+        assert controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None
+        ) is not None  # threshold 1: first fault escalates again
+
+    def test_new_identity_keeps_smc_shape(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        base = controller.base_policy()
+        controller.observe_code(t.entry_eip, "digest-a")
+        controller.set_policy(t.entry_eip, base.with_(
+            self_check=True, self_revalidate=True,
+            stylized_imm_addrs=frozenset({0x1014})))
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        controller.observe_code(t.entry_eip, "digest-b")
+        kept = controller.policy_for(t.entry_eip)
+        assert kept.self_check and kept.self_revalidate
+        assert 0x1014 in kept.stylized_imm_addrs
+        assert not kept.no_reorder_addrs  # version-specific: dropped
+
+    def test_monotone_within_one_identity(self):
+        controller = make_controller(fault_threshold=1)
+        t = make_translation()
+        controller.observe_code(t.entry_eip, "digest-b")
+        seen = [controller.policy_for(t.entry_eip)]
+        for i in range(4):
+            controller.note_fault(
+                t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010 + i), None)
+            controller.observe_code(t.entry_eip, "digest-b")
+            seen.append(controller.policy_for(t.entry_eip))
+        for earlier, later in zip(seen, seen[1:]):
+            assert earlier.merge(later) == later
+
+
+class TestPruneAndState:
+    """PR 5: controller state is bounded by live regions, and survives
+    a snapshot round trip via export/import with monotone merging."""
+
+    def test_prune_drops_dead_keeps_live(self):
+        controller = make_controller(fault_threshold=1)
+        live = make_translation(entry=0x1000)
+        dead = make_translation(entry=0x2000)
+        for t in (live, dead):
+            controller.observe_code(t.entry_eip, "digest")
+            controller.note_fault(
+                t, fault(HostFaultKind.ALIAS_VIOLATION, t.entry_eip + 0x10),
+                None)
+        removed = controller.prune({0x1000}, {0x1000})
+        assert removed > 0
+        assert controller.pruned == removed
+        assert controller.policy_entries() == {0x1000}
+        assert controller.site_fault_entries() <= {0x1000}
+        assert controller.policy_for(0x2000) == controller.base_policy()
+        assert 0x1010 in controller.policy_for(0x1000).no_reorder_addrs
+
+    def test_prune_site_faults_more_aggressively(self):
+        controller = make_controller(fault_threshold=3)
+        t = make_translation(entry=0x3000)
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x3010), None)
+        controller.set_policy(
+            0x3000, controller.base_policy().with_(self_check=True))
+        # Policy stays (entry in live_policy_entries, e.g. a hot
+        # anchor); the partial fault count goes (not resident).
+        controller.prune({0x3000}, set())
+        assert 0x3000 in controller.policy_entries()
+        assert controller.site_fault_entries() == set()
+
+    def test_export_import_roundtrip(self):
+        controller = make_controller(fault_threshold=2)
+        t = make_translation(entry=0x1000)
+        controller.observe_code(0x1000, "digest-a")
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        controller.note_fault(
+            t, fault(HostFaultKind.ALIAS_VIOLATION, 0x1010), None)
+        state = controller.export_state()
+        fresh = make_controller(fault_threshold=2)
+        fresh.import_state(state)
+        assert fresh.policy_for(0x1000) == controller.policy_for(0x1000)
+        assert fresh._code_ids == controller._code_ids
+        assert dict(fresh._site_faults) == {
+            k: v for k, v in controller._site_faults.items() if v > 0}
+
+    def test_import_merges_monotone(self):
+        exporter = make_controller()
+        exporter.set_policy(0x1000, exporter.base_policy().with_(
+            no_reorder_addrs=frozenset({0x1010})))
+        state = exporter.export_state()
+        importer = make_controller()
+        importer.set_policy(0x1000, importer.base_policy().with_(
+            self_check=True, max_instructions=MIN_REGION))
+        importer.import_state(state)
+        merged = importer.policy_for(0x1000)
+        assert merged.self_check  # local escalation survives
+        assert merged.max_instructions == MIN_REGION
+        assert 0x1010 in merged.no_reorder_addrs  # imported pin merged in

@@ -102,3 +102,77 @@ class TestCLI:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "nosuchworkload"])
+
+
+class TestSnapshotCLI:
+    """PR 5: the snapshot subcommand and offline top/health modes."""
+
+    def _save(self, tmp_path) -> str:
+        path = str(tmp_path / "warm.cms-snapshot.json")
+        assert main(["snapshot", "save", path, "gcc",
+                     "--threshold", "6"]) == 0
+        return path
+
+    def test_save_inspect_load(self, tmp_path, capsys):
+        path = self._save(tmp_path)
+        capsys.readouterr()
+        assert main(["snapshot", "inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "repro-cms-snapshot" in out
+        assert main(["snapshot", "load", path, "gcc",
+                     "--threshold", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "translations loaded" in out
+
+    def test_run_reports_warm_start(self, tmp_path, capsys):
+        path = self._save(tmp_path)
+        capsys.readouterr()
+        assert main(["run", "gcc", "--threshold", "6",
+                     "--snapshot-path", path]) == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        path = str(tmp_path / "garbage.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not a snapshot")
+        assert main(["snapshot", "inspect", path]) == 2
+        assert "snapshot" in capsys.readouterr().err
+
+    def test_top_snapshot_without_obs_degrades(self, tmp_path, capsys):
+        path = self._save(tmp_path)  # obs off: no profile tables
+        capsys.readouterr()
+        assert main(["top", "--snapshot", path]) == 2
+        err = capsys.readouterr().err
+        assert "observability" in err
+
+    def test_health_snapshot_without_obs_degrades(self, tmp_path,
+                                                  capsys):
+        path = self._save(tmp_path)
+        capsys.readouterr()
+        assert main(["health", "--snapshot", path]) == 2
+        err = capsys.readouterr().err
+        assert "observability" in err
+
+    def test_top_and_health_from_obs_snapshot(self, tmp_path, capsys):
+        path = str(tmp_path / "warm.cms-snapshot.json")
+        assert main(["snapshot", "save", path, "gcc",
+                     "--threshold", "6", "--obs"]) == 0
+        capsys.readouterr()
+        assert main(["top", "--snapshot", path]) == 0
+        assert "entry" in capsys.readouterr().out
+        assert main(["health", "--snapshot", path]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out or "CONTAINED" in out
+
+    def test_top_without_source_errors(self, capsys):
+        assert main(["top"]) == 2
+        assert capsys.readouterr().err
+
+    def test_health_session_without_obs_degrades(self, tmp_path,
+                                                 capsys):
+        session = str(tmp_path / "session.jsonl")
+        with open(session, "w", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "kind": "other", "seq": 0}\n')
+        assert main(["health", "--session", session]) == 2
+        assert capsys.readouterr().err
