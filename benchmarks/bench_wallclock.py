@@ -4,33 +4,46 @@ Every other benchmark in this directory compares *molecule counts* —
 the paper's metric, measuring the quality of the code CMS generates.
 This one times the *host*: how many guest instructions per second the
 reproduction retires, and how much the engineering dials in
-``CMSConfig`` (decode cache, fast bus routing, dispatcher fast paths)
-buy over the seed's execution paths.  The two metrics are deliberately
-orthogonal: every row below asserts that console output and molecule
-counts are bit-identical with the optimizations on and off, so the
-dials can never change *what* is computed, only how fast the host
-computes it.
+``CMSConfig`` (decode cache, fast bus routing, dispatcher fast paths,
+and the template JIT) buy over the seed's execution paths.  The two
+metrics are deliberately orthogonal: every row below asserts that
+console output and molecule counts are bit-identical with the
+optimizations on and off, so the dials can never change *what* is
+computed, only how fast the host computes it.
 
 Coverage: one boot (``dos_boot``), one app kernel (``compress``), and
-one SMC-heavy workload (``quake_demo2``, the self-modifying renderer,
-which exercises decode-cache invalidation on every patch).  Each runs
-under the translating baseline and under an interpreter-only
-configuration; the interpreter-dominated run is where the decode cache
-and bus fast paths concentrate, and it must show at least a 2x speedup
-over the seed paths.  A per-dial ablation attributes the win.
+one SMC-heavy workload (``quake_demo2``, the self-modifying renderer).
+Each translating row also times an interpreter-only run of the same
+workload, and the **headline gate** asserts the paper's premise holds
+in wall-clock terms: with the template JIT on, the CMS path beats
+interpretation on every workload (``cms_vs_interp_speedup >= 1.0``,
+measured margins are 2-4x).  The interpreter-dominated quake row keeps
+its own 2x optimized-vs-seed gate.
+
+The ablation attributes the win per dial, each measured best-of-3 on a
+run mode where its mechanism is actually live (the template JIT is a
+no-op interpreter-only; the decode cache is most of the interpreter's
+win).  ``decode_cache`` and ``template_jit`` have decisive margins and
+hard floors; ``fast_bus_routing`` and ``fast_dispatch`` buy only a few
+percent at workload scale — below run-to-run noise — so their rows
+gate at "never hurts" (>= 0.9 best-of-3) and the routing win is
+instead asserted deterministically by a mechanism-level
+micro-benchmark (bisect + RAM-limit short-circuit vs the seed's linear
+scan over a mixed RAM/MMIO address sample).
 
 Results land in three places: the usual ``results.txt`` table, a
 machine-readable ``BENCH_wallclock.json`` at the repo root, and the
 pytest output.  ``REPRO_WALLCLOCK_BUDGET=<n>`` caps every run at n
-guest instructions for CI smoke runs; with a reduced budget the 2x
-assertion is relaxed (startup costs dominate tiny runs) but identity
-and report shape are still checked.
+guest instructions for CI smoke runs; with a reduced budget every
+timing assertion is skipped (startup costs dominate tiny runs) but
+identity and report shape are still checked.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 
 from common import BASELINE, emit_telemetry, print_table, run_timed
 
@@ -39,8 +52,8 @@ JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 
 # (workload, role, interpreter-only?) rows.  The interpreter-only
 # quake_demo2 row is the "interpreter-dominated workload" of the
-# acceptance criterion: no translations, every instruction through
-# decode+dispatch, SMC stores invalidating the decode cache.
+# original acceptance criterion: no translations, every instruction
+# through decode+dispatch, SMC stores invalidating the decode cache.
 ROWS = [
     ("dos_boot", "boot", False),
     ("compress", "app", False),
@@ -48,10 +61,23 @@ ROWS = [
     ("quake_demo2", "interp", True),
 ]
 INTERP_DOMINATED = ("quake_demo2", True)
-ABLATION_WORKLOAD = "compress"  # interp-only; cheap enough to rerun
-DIALS = ("decode_cache", "fast_bus_routing", "fast_dispatch")
 
-MIN_SPEEDUP = 2.0
+MIN_SPEEDUP = 2.0  # interp-dominated row, optimized vs seed paths
+MIN_CMS_SPEEDUP = 1.0  # every workload: CMS path vs interpreter-only
+
+# Per-dial ablation: (dial, workload, interp_only?, min slowdown_without).
+# Each dial is measured on a mode where its mechanism is exercised;
+# floors below 1.0 are noise guards for percent-level dials (see module
+# docstring), not claims that the dial is free.
+ABLATIONS = (
+    ("decode_cache", "compress", True, 1.3),
+    ("fast_dispatch", "compress", True, 0.85),
+    ("fast_bus_routing", "multimedia", True, 0.85),
+    ("template_jit", "compress", False, 1.5),
+)
+ABLATION_ROUNDS = 3  # best-of-N timing for every ablation config
+
+MIN_ROUTING_MICRO_SPEEDUP = 1.2  # bisect routing vs linear scan
 
 
 def _budget() -> int | None:
@@ -84,6 +110,8 @@ def _measure(name: str, interp_only: bool, budget: int | None) -> dict:
     seed_secs, seed_result = run_timed(name, seed, budget)
     opt_secs, opt_result = run_timed(name, optimized, budget)
     # The dials must be invisible to everything the paper measures.
+    # With the template JIT among them, this doubles as a system-level
+    # JIT-vs-simulated-VLIW identity check on every benchmark workload.
     assert opt_result.console_output == seed_result.console_output, (
         f"{name}: console output diverged with optimizations on"
     )
@@ -92,7 +120,7 @@ def _measure(name: str, interp_only: bool, budget: int | None) -> dict:
     )
     assert opt_result.guest_instructions == seed_result.guest_instructions
     instructions = opt_result.guest_instructions
-    return {
+    row = {
         "config": "interp-only" if interp_only else "baseline",
         "guest_instructions": instructions,
         "seed_seconds": round(seed_secs, 4),
@@ -103,25 +131,92 @@ def _measure(name: str, interp_only: bool, budget: int | None) -> dict:
         "molecules_per_instruction": round(opt_result.mpx, 3),
         "identical_output": True,
     }
+    if not interp_only:
+        # The headline measurement: the translating CMS path against a
+        # pure-interpretation run of the same guest.
+        interp_secs, interp_result = run_timed(
+            name, _config(True), budget)
+        assert interp_result.console_output == opt_result.console_output, (
+            f"{name}: console output diverged vs the interpreter"
+        )
+        row["interp_seconds"] = round(interp_secs, 4)
+        row["cms_vs_interp_speedup"] = (
+            round(interp_secs / opt_secs, 3) if opt_secs else 0.0
+        )
+        row["jit_dispatches"] = opt_result.system.stats.jit_dispatches
+    return row
+
+
+def _best_of(name: str, config, budget: int | None,
+             rounds: int = ABLATION_ROUNDS) -> tuple[float, object]:
+    best_secs, best_result = run_timed(name, config, budget)
+    for _ in range(rounds - 1):
+        secs, result = run_timed(name, config, budget)
+        if secs < best_secs:
+            best_secs, best_result = secs, result
+    return best_secs, best_result
 
 
 def _ablate(budget: int | None) -> dict:
-    """Per-dial attribution: all-on vs exactly one dial off."""
-    all_on_secs, all_on = run_timed(
-        ABLATION_WORKLOAD, _config(True), budget)
+    """Per-dial attribution: all-on vs exactly one dial off, each on a
+    run mode where the dial's mechanism is live, best-of-N both sides."""
     out = {}
-    for dial in DIALS:
-        secs, result = run_timed(
-            ABLATION_WORKLOAD, _config(True, **{dial: False}), budget)
+    all_on_cache: dict[tuple[str, bool], tuple[float, object]] = {}
+    for dial, name, interp_only, minimum in ABLATIONS:
+        key = (name, interp_only)
+        if key not in all_on_cache:
+            all_on_cache[key] = _best_of(name, _config(interp_only), budget)
+        all_on_secs, all_on = all_on_cache[key]
+        secs, result = _best_of(
+            name, _config(interp_only, **{dial: False}), budget)
         assert result.console_output == all_on.console_output, dial
         assert result.total_molecules == all_on.total_molecules, dial
         out[dial] = {
+            "workload": name,
+            "mode": "interp-only" if interp_only else "baseline",
+            "all_on_seconds": round(all_on_secs, 4),
             "seconds_without": round(secs, 4),
             "slowdown_without": round(secs / all_on_secs, 3)
             if all_on_secs else 0.0,
+            "min_slowdown": minimum,
         }
-    out["all_on_seconds"] = round(all_on_secs, 4)
     return out
+
+
+def _routing_micro() -> dict:
+    """Mechanism-level gate for ``fast_bus_routing``: the bisect +
+    RAM-limit routing must beat the seed's linear region scan on a
+    mixed RAM/MMIO address sample.  Deterministic where the workload
+    ablation is percent-level noise."""
+    from repro.machine import Machine
+
+    bus = Machine().bus
+    addrs = (
+        [(i * 7919) % (1 << 22) for i in range(2048)]
+        + [0xFFF00000 + (i % 4096) for i in range(512)]
+        + [0x000A0000 + (i % 65536) for i in range(512)]
+    )
+
+    def sweep(fast: bool) -> float:
+        bus.set_fast_routing(fast)
+        best = float("inf")
+        for _ in range(ABLATION_ROUNDS):
+            start = time.perf_counter()
+            for _ in range(20):
+                for addr in addrs:
+                    bus.is_io(addr, 4)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    sweep(True)  # warm up allocator/caches off the books
+    fast_secs = sweep(True)
+    linear_secs = sweep(False)
+    return {
+        "fast_seconds": round(fast_secs, 4),
+        "linear_seconds": round(linear_secs, 4),
+        "micro_speedup": round(linear_secs / fast_secs, 3)
+        if fast_secs else 0.0,
+    }
 
 
 def _collect() -> dict:
@@ -135,6 +230,7 @@ def _collect() -> dict:
         "budget": budget,
         "workloads": workloads,
         "ablation": _ablate(budget),
+        "routing_micro": _routing_micro(),
     }
 
 
@@ -151,19 +247,26 @@ def _emit(report: dict) -> None:
     emit_telemetry("bench-wallclock", report)
     table = []
     for key, row in report["workloads"].items():
+        cms = row.get("cms_vs_interp_speedup")
+        vs_interp = f"  vs-interp {cms:.2f}x" if cms is not None else ""
         table.append((
             key,
             f"{row['optimized_ips']:>9,} ips  "
             f"(seed {row['seed_ips']:>9,})  "
-            f"speedup {row['speedup']:.2f}x  "
-            f"mpx {row['molecules_per_instruction']:.2f}",
+            f"speedup {row['speedup']:.2f}x{vs_interp}",
         ))
-    for dial in DIALS:
-        entry = report["ablation"][dial]
+    for dial, entry in report["ablation"].items():
         table.append((
             f"ablate {dial}",
-            f"{entry['slowdown_without']:.2f}x slower without",
+            f"{entry['slowdown_without']:.2f}x slower without  "
+            f"({entry['workload']}, {entry['mode']}, "
+            f"best of {ABLATION_ROUNDS})",
         ))
+    micro = report["routing_micro"]
+    table.append((
+        "routing micro",
+        f"bisect {micro['micro_speedup']:.2f}x vs linear scan",
+    ))
     budget = report["budget"]
     print_table(
         "Wall-clock (host instructions/second, optimizations vs seed)",
@@ -185,6 +288,31 @@ def _check(report: dict) -> None:
     assert dominated["speedup"] >= MIN_SPEEDUP, (
         f"interpreter-dominated speedup {dominated['speedup']:.2f}x "
         f"< {MIN_SPEEDUP}x"
+    )
+    # The headline gate: the CMS path must beat interpretation in
+    # wall-clock terms on every workload (the paper's premise).
+    for key, row in report["workloads"].items():
+        cms = row.get("cms_vs_interp_speedup")
+        if cms is None:
+            continue
+        assert cms >= MIN_CMS_SPEEDUP, (
+            f"{key}: CMS path is slower than the interpreter "
+            f"({cms:.3f}x < {MIN_CMS_SPEEDUP}x)"
+        )
+        assert row["jit_dispatches"] > 0, (
+            f"{key}: template JIT never dispatched on a translating run"
+        )
+    for dial, entry in report["ablation"].items():
+        assert entry["slowdown_without"] >= entry["min_slowdown"], (
+            f"ablation {dial}: {entry['slowdown_without']:.3f}x < "
+            f"{entry['min_slowdown']}x on {entry['workload']} "
+            f"({entry['mode']})"
+        )
+    micro = report["routing_micro"]
+    assert micro["micro_speedup"] >= MIN_ROUTING_MICRO_SPEEDUP, (
+        f"routing micro-benchmark: bisect only "
+        f"{micro['micro_speedup']:.2f}x vs linear "
+        f"(< {MIN_ROUTING_MICRO_SPEEDUP}x)"
     )
 
 

@@ -60,7 +60,7 @@ SNAPSHOT_VERSION = 1
 _CONFIG_EXCLUDE = frozenset({
     "snapshot_path", "snapshot_save", "snapshot_strict_config",
     "obs_enabled", "obs_jsonl_path", "obs_histogram_buckets",
-    "decode_cache", "fast_bus_routing", "fast_dispatch",
+    "decode_cache", "fast_bus_routing", "fast_dispatch", "template_jit",
     "chaos_rate", "chaos_seed",
 })
 

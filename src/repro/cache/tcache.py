@@ -81,6 +81,11 @@ class Translation:
     # code_ranges never change after construction).
     _region_addr_set: frozenset[int] | None = field(
         default=None, repr=False)
+    # Template-JIT function for this translation (host/jit.py), built
+    # lazily on first dispatch.  Dropped on invalidation and never
+    # persisted: its closure binds one process's live CPU objects, so a
+    # warm-loaded translation recompiles on first dispatch instead.
+    host_code: object | None = field(default=None, repr=False)
 
     @property
     def num_molecules(self) -> int:
@@ -203,6 +208,7 @@ class TranslationCache:
 
     def invalidate_translation(self, translation: Translation) -> None:
         translation.valid = False
+        translation.host_code = None
         self.remove(translation)
         self.invalidations += 1
 
@@ -264,6 +270,7 @@ class TranslationCache:
         """
         for translation in list(self._by_entry.values()):
             translation.valid = False
+            translation.host_code = None
             self._unchain_incoming(translation)
             self._unchain_outgoing(translation)
         self._by_entry.clear()

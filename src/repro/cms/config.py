@@ -126,6 +126,7 @@ class CMSConfig:
     decode_cache: bool = True  # memoize decode() keyed by paddr
     fast_bus_routing: bool = True  # bisect MMIO routing + RAM fast path
     fast_dispatch: bool = True  # dispatcher/recovery fast paths
+    template_jit: bool = True  # lower committed translations to Python
 
     cost: CostModel = field(default_factory=CostModel)
 
@@ -140,4 +141,4 @@ class CMSConfig:
         from dataclasses import replace
 
         return replace(self, decode_cache=False, fast_bus_routing=False,
-                       fast_dispatch=False)
+                       fast_dispatch=False, template_jit=False)

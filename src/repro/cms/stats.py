@@ -65,6 +65,15 @@ class CMSStats:
     snapshot_group_versions: int = 0  # retired versions re-parked in groups
     controller_pruned: int = 0  # stale controller keys removed (not repairs)
 
+    # Template JIT (PR 6).  Dispatch/compile volume plus a bailout
+    # census: every time the JIT path hands control back to the
+    # simulated VLIW (or exits for a cause the dispatcher must handle),
+    # the reason is tallied by name.
+    jit_dispatches: int = 0
+    jit_compiles: int = 0
+    jit_compile_failures: int = 0
+    jit_bailouts: Counter = field(default_factory=Counter)  # by reason
+
     def as_dict(self, cost: CostModel | None = None) -> dict:
         """Flat counter mapping for the metrics registry and telemetry.
 
@@ -77,6 +86,9 @@ class CMSStats:
             if name == "faults":
                 for kind, count in sorted(value.items()):
                     out[f"faults.{kind}"] = count
+            elif name == "jit_bailouts":
+                for reason, count in sorted(value.items()):
+                    out[f"jit_bailouts.{reason}"] = count
             else:
                 out[name] = value
         if cost is not None:
@@ -142,6 +154,13 @@ class CMSStats:
         if self.audit_runs:
             lines.append(f"self-audits          {self.audit_runs:>12}"
                          f" ({self.audit_repairs} repairs)")
+        if self.jit_dispatches:
+            lines.append(
+                f"jit dispatches       {self.jit_dispatches:>12}"
+                f" ({self.jit_compiles} compiles,"
+                f" {self.jit_compile_failures} failures,"
+                f" {sum(self.jit_bailouts.values())} bailouts)"
+            )
         if self.snapshot_translations_loaded or \
                 self.snapshot_translations_dropped:
             lines.append(

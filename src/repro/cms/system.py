@@ -28,13 +28,14 @@ from repro.cache.groups import TranslationGroups
 from repro.cache.tcache import Translation, TranslationCache, digest_bytes
 from repro.cms.config import CMSConfig
 from repro.cms.degrade import (ChaosMonkey, DegradationManager,
-                               RuntimeAuditor)
+                               RuntimeAuditor, Tier)
 from repro.cms.retranslation import AdaptiveController
 from repro.cms.smc import SMCManager
 from repro.cms.stats import CMSStats, HealthReport
 from repro.cms.trace import Event, EventTrace
 from repro.host.cpu import ExitKind, HostCPU
 from repro.host.faults import HostFault, HostFaultKind
+from repro.host.jit import TemplateJIT
 from repro.host.registers import HostBackedGuestState
 from repro.interp.interpreter import Halted, Interpreter
 from repro.interp.profile import ExecutionProfile
@@ -128,6 +129,13 @@ class CodeMorphingSystem:
         # benchmark harness flips them for attribution).
         machine.bus.set_fast_routing(config.fast_bus_routing)
         self._fast_dispatch = config.fast_dispatch
+        # Template JIT (PR 6): committed translations lowered to
+        # generated Python (host/jit.py).  Semantics-invisible like the
+        # other wall-clock dials; degraded ladder tiers and quarantined
+        # regions keep the simulated-VLIW path.
+        self.jit = (TemplateJIT(self.cpu, stats=self.stats,
+                                phases=self._phases)
+                    if config.template_jit else None)
         self.icache = DecodedInstructionCache() if config.decode_cache \
             else None
         if self.icache is not None:
@@ -439,16 +447,22 @@ class CodeMorphingSystem:
 
         self.stats.dispatches += 1
         self._maybe_audit()
+        jit = self.jit
+        if jit is not None and \
+                self.degrade.tier_of(eip) is not Tier.AGGRESSIVE:
+            jit = None  # degraded regions stay on the simulated VLIW
+        engine = self.cpu.run if jit is None else jit.run
         obs = self.obs
         if obs is None:
-            exit_info = self.cpu.run(
+            exit_info = engine(
                 translation, fuel=self.config.dispatch_fuel_molecules
             )
         else:
             retired_before = machine.instructions_retired
             molecules_before = self.cpu.molecules_executed
-            with obs.phases.phase("execute"):
-                exit_info = self.cpu.run(
+            phase = "execute" if jit is None else "jit-execute"
+            with obs.phases.phase(phase):
+                exit_info = engine(
                     translation, fuel=self.config.dispatch_fuel_molecules
                 )
         self.stats.chains_followed += exit_info.chains_followed

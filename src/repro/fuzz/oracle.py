@@ -67,6 +67,12 @@ def default_matrix() -> tuple[DialVariant, ...]:
                     replace(_BASE, translation_groups=False,
                             self_revalidation=False, stylized_smc=False)),
         DialVariant("seed-paths", _BASE.seed_performance()),
+        # Template JIT (PR 6): _BASE runs with the JIT on, so every
+        # variant above already differentially checks JIT-generated code
+        # against the interpreter; this variant pins the simulated-VLIW
+        # path on the same programs, closing the three-way
+        # JIT / VLIW / interpreter comparison.
+        DialVariant("no-template-jit", replace(_BASE, template_jit=False)),
         # Every campaign also exercises the conservative rungs of the
         # degradation ladder: regions start (and stay) at NO_REORDER, so
         # the clamped-policy translation paths are differentially

@@ -110,17 +110,21 @@ class HostCPU:
     # Top-level execution
     # ------------------------------------------------------------------
 
-    def run(self, translation, fuel: int = 1_000_000) -> ExitInfo:
+    def run(self, translation, fuel: int = 1_000_000,
+            start_pc: int | None = None) -> ExitInfo:
         """Execute ``translation`` until exit, fault, or interrupt.
 
         Follows chained exits directly into successor translations
         without returning to the dispatcher (the paper's "chaining").
         On FAULT and INTERRUPT outcomes the caller must invoke
-        ``rollback`` before touching guest state.
+        ``rollback`` before touching guest state.  ``start_pc`` resumes
+        mid-translation at an explicit molecule index (used by the
+        template JIT to hand back control at the exact point it bailed).
         """
         info = ExitInfo(kind=ExitKind.EXITED)
         current = translation
-        pc = current.labels[current.entry_label]
+        pc = current.labels[current.entry_label] if start_pc is None \
+            else start_pc
         molecules = current.molecules
         info.translations_entered.append(current)
         start_molecules = self.molecules_executed

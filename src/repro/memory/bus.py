@@ -113,6 +113,8 @@ class MemoryBus:
     def region_at(self, addr: int) -> MMIORegion | None:
         if not self.fast_routing:
             return self._linear_region_at(addr)
+        if addr < self._ram_limit:
+            return None  # below every MMIO base: pure RAM
         i = bisect_right(self._bases, addr) - 1
         if i >= 0 and addr < self._ends[i]:
             return self._sorted_regions[i]
@@ -122,6 +124,8 @@ class MemoryBus:
         """True if any byte of [addr, addr+size) falls in an MMIO region."""
         if not self.fast_routing:
             return self._linear_is_io(addr, size)
+        if addr + size <= self._ram_limit:
+            return False  # wholly below every MMIO base: pure RAM
         i = bisect_right(self._bases, addr) - 1
         if i >= 0 and addr < self._ends[i]:
             return True

@@ -217,14 +217,22 @@ def cmd_top(args: argparse.Namespace) -> int:
     print()
     print(f"top {args.count} regions by {args.sort}:")
     print(f"{'entry':>10} {'instructions':>13} {'molecules':>11} "
-          f"{'dispatches':>10} {'faults':>7} {'trans':>6} tier")
+          f"{'dispatches':>10} {'faults':>7} {'trans':>6} {'jit':>4} tier")
     for region in obs.hotspots.top(args.count, args.sort):
         tier = system.degrade.tier_of(region.entry_eip).name
+        # "yes" = a template-JIT function is resident for the region's
+        # current translation; "-" = VLIW-only (dial off, degraded tier,
+        # uncompilable, or the translation was invalidated).
+        resident = system.tcache.lookup(region.entry_eip)
+        jit = "yes" if resident is not None and \
+            resident.host_code is not None else "-"
         print(f"{region.entry_eip:>#10x} {region.instructions:>13} "
               f"{region.molecules:>11} {region.dispatches:>10} "
-              f"{region.faults:>7} {region.translations:>6} {tier}")
+              f"{region.faults:>7} {region.translations:>6} {jit:>4} "
+              f"{tier}")
     print(f"{'(interp)':>10} {obs.hotspots.interp_instructions:>13} "
-          f"{'-':>11} {'-':>10} {'-':>7} {'-':>6} untranslated pool")
+          f"{'-':>11} {'-':>10} {'-':>7} {'-':>6} {'-':>4} "
+          f"untranslated pool")
     print()
     print(obs.phases.describe())
     return 0

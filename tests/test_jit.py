@@ -1,0 +1,218 @@
+"""Template-JIT semantics tests (host/jit.py).
+
+The JIT is a wall-clock dial: with ``template_jit`` on or off, every
+run must be molecule-identical and architecturally identical — the
+generated Python only replaces the simulated VLIW's per-atom dispatch,
+never what executes.  These tests pin that contract on the edges where
+it is easiest to break: mid-translation faults, alias bailouts, SMC
+invalidation, fuel exhaustion, and compile failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import assert_equivalent, run_cms
+from repro import CMSConfig
+from repro.host import jit as jit_module
+from repro.workloads import get_workload, run_workload
+
+FAST = CMSConfig(translation_threshold=4, fault_threshold=2)
+NO_JIT = replace(FAST, template_jit=False)
+
+HOT_LOOP = """
+start:
+    mov esi, 0
+    mov ecx, 0
+loop:
+    mov eax, ecx
+    imul eax, 13
+    xor esi, eax
+    inc ecx
+    cmp ecx, 400
+    jne loop
+    cli
+    hlt
+"""
+
+# Patches its own inner-loop immediate every frame (stylized SMC): the
+# JIT-resident translation takes protection/self-check faults mid-run
+# and is repeatedly invalidated and recompiled.
+SMC_LOOP = """
+start:
+    mov edi, 0
+    mov esi, 0
+frame:
+    mov eax, edi
+    imul eax, 17
+    add eax, 0x01010101
+    mov ebx, patch_site + 2
+    store [ebx], eax
+    mov ecx, 0
+inner:
+patch_site:
+    add esi, 0x11111111
+    rol esi, 1
+    inc ecx
+    cmp ecx, 30
+    jl inner
+    inc edi
+    cmp edi, 40
+    jl frame
+    cli
+    hlt
+"""
+
+
+def _dial_invisible_stats(stats) -> dict:
+    """Stats that must match with the JIT dial on or off.
+
+    Only the JIT's own accounting (dispatch/compile/bailout volume) may
+    differ between the two engines.
+    """
+    out = stats.as_dict()
+    return {name: value for name, value in out.items()
+            if not name.startswith("jit_")}
+
+
+def _assert_dial_invisible(source: str, config: CMSConfig) -> tuple:
+    """Run ``source`` with the JIT on and off; everything but the JIT's
+    own counters must be identical, bit for bit."""
+    on_system, on_result = run_cms(source, config)
+    off_system, off_result = run_cms(source, replace(config,
+                                                     template_jit=False))
+    assert on_result.halted and off_result.halted
+    assert on_result.console_output == off_result.console_output
+    assert on_system.state.snapshot() == off_system.state.snapshot()
+    on_ram = on_system.machine.ram
+    off_ram = off_system.machine.ram
+    assert on_ram.read_bytes(0, on_ram.size) == \
+        off_ram.read_bytes(0, off_ram.size)
+    assert _dial_invisible_stats(on_system.stats) == \
+        _dial_invisible_stats(off_system.stats)
+    assert off_system.stats.jit_dispatches == 0
+    return on_system, off_system
+
+
+class TestDialInvisibility:
+    def test_hot_loop_molecule_identical(self):
+        on_system, _ = _assert_dial_invisible(HOT_LOOP, FAST)
+        assert on_system.stats.jit_dispatches > 0
+        assert on_system.stats.jit_compiles > 0
+        assert on_system.stats.jit_compile_failures == 0
+
+    def test_smc_loop_molecule_identical(self):
+        on_system, _ = _assert_dial_invisible(SMC_LOOP, FAST)
+        assert on_system.stats.smc_invalidations >= 1
+
+    def test_equivalent_to_interpreter(self):
+        both = assert_equivalent(HOT_LOOP, config=FAST)
+        assert both.cms_system.stats.jit_dispatches > 0
+
+
+class TestFaultBailouts:
+    def test_mid_translation_fault_rolls_back_exactly(self):
+        # The SMC store faults mid-translation out of JIT-generated
+        # code; interpreter equivalence (registers, RAM, console)
+        # proves the rollback restored the exact pre-dispatch state.
+        both = assert_equivalent(SMC_LOOP, config=FAST)
+        stats = both.cms_system.stats
+        assert stats.rollbacks >= 1
+        fault_bails = [reason for reason in stats.jit_bailouts
+                       if reason.startswith("fault-")]
+        assert fault_bails, (
+            f"no fault bailouts recorded: {dict(stats.jit_bailouts)}"
+        )
+
+    def test_alias_check_bailout(self):
+        workload = get_workload("alias_stress")
+        on = run_workload(workload, FAST)
+        off = run_workload(workload, NO_JIT)
+        assert on.console_output == off.console_output
+        assert on.total_molecules == off.total_molecules
+        stats = on.system.stats
+        assert stats.jit_bailouts["fault-alias_violation"] >= 1
+        assert stats.faults["ALIAS_VIOLATION"] >= 1
+
+    def test_interrupt_bailout(self):
+        workload = get_workload("dos_boot")
+        on = run_workload(workload, FAST)
+        off = run_workload(workload, NO_JIT)
+        assert on.console_output == off.console_output
+        assert on.total_molecules == off.total_molecules
+        assert on.system.stats.jit_bailouts["interrupt"] >= 1
+
+    def test_fuel_exhaustion_mid_jit_block(self):
+        config = replace(FAST, dispatch_fuel_molecules=8)
+        on_system, _ = _assert_dial_invisible(HOT_LOOP, config)
+        assert on_system.stats.jit_bailouts["fuel"] >= 1
+        assert on_system.stats.fuel_exits >= 1
+
+
+class TestInvalidation:
+    def _jit_resident_translation(self):
+        system, result = run_cms(HOT_LOOP, FAST)
+        assert result.halted
+        resident = [t for t in system.tcache.translations()
+                    if t.host_code is not None]
+        assert resident, "no JIT-resident translation after a hot loop"
+        return system, resident
+
+    def test_invalidation_drops_compiled_callable(self):
+        system, resident = self._jit_resident_translation()
+        for translation in resident:
+            system.tcache.invalidate_translation(translation)
+            assert translation.host_code is None
+            assert not translation.valid
+
+    def test_flush_drops_compiled_callable(self):
+        system, resident = self._jit_resident_translation()
+        system.tcache.flush()
+        assert all(t.host_code is None for t in resident)
+
+    def test_smc_invalidation_drops_compiled_callable(self):
+        system, result = run_cms(SMC_LOOP, FAST)
+        assert result.halted
+        assert system.stats.smc_invalidations >= 1
+        # Anything still resident must be valid; every invalidated
+        # translation must have dropped its template on the way out.
+        for translation in system.tcache.translations():
+            if translation.host_code is not None:
+                assert translation.valid
+
+
+class TestFallbacks:
+    def test_uncompilable_translation_falls_back_to_vliw(self, monkeypatch):
+        monkeypatch.setattr(jit_module, "compile_translation",
+                            lambda translation, cpu: None)
+        on_system, on_result = run_cms(HOT_LOOP, FAST)
+        off_system, off_result = run_cms(HOT_LOOP, NO_JIT)
+        assert on_result.halted
+        assert on_result.console_output == off_result.console_output
+        assert _dial_invisible_stats(on_system.stats) == \
+            _dial_invisible_stats(off_system.stats)
+        stats = on_system.stats
+        assert stats.jit_compile_failures >= 1
+        assert stats.jit_bailouts["uncompilable"] >= 1
+        assert stats.jit_compiles == 0
+
+    def test_degraded_tiers_skip_the_jit(self):
+        config = replace(FAST, degrade_tier_floor=2)
+        system, result = run_cms(HOT_LOOP, config)
+        assert result.halted
+        assert system.stats.dispatches > 0
+        assert system.stats.jit_dispatches == 0
+
+    def test_warm_loaded_translations_recompile_lazily(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        cold = replace(FAST, snapshot_path=path, snapshot_save=True)
+        cold_system, cold_result = run_cms(HOT_LOOP, cold)
+        cold_system.shutdown()
+        warm = replace(FAST, snapshot_path=path)
+        warm_system, warm_result = run_cms(HOT_LOOP, warm)
+        assert warm_result.halted
+        assert warm_result.console_output == cold_result.console_output
+        assert warm_system.stats.snapshot_translations_loaded >= 1
+        # The callable is process-local: never persisted, rebuilt on
+        # first dispatch of the reloaded translation.
+        assert warm_system.stats.jit_compiles >= 1
