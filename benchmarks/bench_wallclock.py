@@ -31,6 +31,27 @@ instead asserted deterministically by a mechanism-level
 micro-benchmark (bisect + RAM-limit short-circuit vs the seed's linear
 scan over a mixed RAM/MMIO address sample).
 
+Superblock traces change the comparison's character: unlike the host
+dials above, trace formation changes *what code CMS generates*, so
+molecule counts legitimately differ with traces on and off.  The trace
+section therefore asserts console identity only, and reports both
+metrics sides by side: wall clock (best of 3 per side) and the
+deterministic code-quality counters — executed host molecules, the
+end-to-end mol/instr metric, and the scheduler cost model's modeled
+cycles per translated instruction (``modeled_cycles_translated /
+guest_instructions_translated``), all pinned exactly by the perf gate
+at fixed budget.  The full-budget gates put the teeth where the signal
+is: every workload that forms a trace must *execute* strictly fewer
+host molecules with traces on (the unroll judge's promise, checked
+end-to-end), at least one workload must improve the paper's mol/instr
+metric outright (quake_demo2 — long enough that the one-time
+translation charge amortizes), and wall clock may never fall below the
+never-catastrophic floor.  Wall-clock *improvement* is reported but
+floor-gated only at 0.9x: the measured execution win (7-19% fewer
+molecules) is worth a few percent of host time at these run lengths,
+which is inside run-to-run noise on a shared runner (see
+EXPERIMENTS.md, "Trace formation").
+
 Results land in three places: the usual ``results.txt`` table, a
 machine-readable ``BENCH_wallclock.json`` at the repo root, and the
 pytest output.  ``REPRO_WALLCLOCK_BUDGET=<n>`` caps every run at n
@@ -79,6 +100,20 @@ ABLATION_ROUNDS = 3  # best-of-N timing for every ablation config
 
 MIN_ROUTING_MICRO_SPEEDUP = 1.2  # bisect routing vs linear scan
 
+# Superblock traces (PR 7): on/off per workload, best-of-3 each side.
+# quake_demo2 is the workload where the mechanism pays off end to end
+# (hot render loops promote to unrolled traces and the run is long
+# enough to amortize the translation charge); compress and dos_boot
+# mostly measure that trace formation never costs more than the floor
+# allows.
+TRACE_ROWS = ("compress", "dos_boot", "quake_demo2")
+MIN_TRACE_BEST_SPEEDUP = 0.9  # the best row must be near-par or better
+# Per-row catastrophe floor only: in-suite timing (one long-lived pytest
+# process, dozens of runs of allocator/GC pressure ahead of this bench)
+# swings individual rows far more than standalone best-of-3 does —
+# quake has measured 0.67x in-suite minutes after 1.06x standalone.
+MIN_TRACE_FLOOR = 0.5
+
 
 def _budget() -> int | None:
     raw = os.environ.get("REPRO_WALLCLOCK_BUDGET", "").strip()
@@ -102,6 +137,16 @@ def _config(interp_only: bool, **dials):
         from dataclasses import replace
         config = replace(config, **dials)
     return config
+
+
+def _modeled_per_instr(result) -> float:
+    """Modeled cycles per *translated* guest instruction — the static
+    schedule-quality counter, deterministic for a fixed budget."""
+    stats = result.system.stats
+    if not stats.guest_instructions_translated:
+        return 0.0
+    return round(stats.modeled_cycles_translated
+                 / stats.guest_instructions_translated, 4)
 
 
 def _measure(name: str, interp_only: bool, budget: int | None) -> dict:
@@ -144,6 +189,7 @@ def _measure(name: str, interp_only: bool, budget: int | None) -> dict:
             round(interp_secs / opt_secs, 3) if opt_secs else 0.0
         )
         row["jit_dispatches"] = opt_result.system.stats.jit_dispatches
+        row["modeled_cycles_per_instr"] = _modeled_per_instr(opt_result)
     return row
 
 
@@ -179,6 +225,47 @@ def _ablate(budget: int | None) -> dict:
             "slowdown_without": round(secs / all_on_secs, 3)
             if all_on_secs else 0.0,
             "min_slowdown": minimum,
+        }
+    return out
+
+
+def _trace_compare(budget: int | None) -> dict:
+    """Trace formation on vs off, best-of-N wall clock per side.
+
+    Console output must be identical — traces may change the generated
+    code (molecule counts differ by design) but never what the guest
+    computes.  Alongside wall clock, each row reports the cost model's
+    modeled cycles per translated instruction and the trace-shape
+    counters, all deterministic at fixed budget."""
+    from dataclasses import replace
+
+    out = {}
+    for name in TRACE_ROWS:
+        on_secs, on = _best_of(name, BASELINE, budget)
+        off_secs, off = _best_of(
+            name, replace(BASELINE, trace_formation=False), budget)
+        assert on.console_output == off.console_output, (
+            f"{name}: console output diverged with trace formation on"
+        )
+        assert on.guest_instructions == off.guest_instructions, (
+            f"{name}: guest instruction counts diverged with traces on"
+        )
+        stats = on.system.stats
+        out[name] = {
+            "on_seconds": round(on_secs, 4),
+            "off_seconds": round(off_secs, 4),
+            "trace_speedup": round(off_secs / on_secs, 3)
+            if on_secs else 0.0,
+            "host_molecules_on": stats.host_molecules,
+            "host_molecules_off": off.system.stats.host_molecules,
+            "mpx_on": round(on.mpx, 3),
+            "mpx_off": round(off.mpx, 3),
+            "modeled_cycles_per_instr_on": _modeled_per_instr(on),
+            "modeled_cycles_per_instr_off": _modeled_per_instr(off),
+            "traces_formed": stats.traces_formed,
+            "trace_promotions": stats.trace_promotions,
+            "trace_splits": stats.trace_splits,
+            "identical_output": True,
         }
     return out
 
@@ -230,6 +317,7 @@ def _collect() -> dict:
         "budget": budget,
         "workloads": workloads,
         "ablation": _ablate(budget),
+        "traces": _trace_compare(budget),
         "routing_micro": _routing_micro(),
     }
 
@@ -262,6 +350,19 @@ def _emit(report: dict) -> None:
             f"({entry['workload']}, {entry['mode']}, "
             f"best of {ABLATION_ROUNDS})",
         ))
+    for name, entry in report["traces"].items():
+        saved = 1.0 - (entry["host_molecules_on"]
+                       / entry["host_molecules_off"]
+                       if entry["host_molecules_off"] else 1.0)
+        table.append((
+            f"traces {name}",
+            f"{entry['trace_speedup']:.2f}x vs traces-off  "
+            f"({saved:.1%} fewer molecules executed, "
+            f"mpx {entry['mpx_on']:.2f} vs {entry['mpx_off']:.2f}, "
+            f"modeled {entry['modeled_cycles_per_instr_on']:.2f} vs "
+            f"{entry['modeled_cycles_per_instr_off']:.2f} cyc/instr, "
+            f"{entry['traces_formed']} traces)",
+        ))
     micro = report["routing_micro"]
     table.append((
         "routing micro",
@@ -283,6 +384,8 @@ def _check(report: dict) -> None:
     for row in report["workloads"].values():
         assert row["identical_output"]
         assert row["optimized_ips"] > 0
+    for entry in report["traces"].values():
+        assert entry["identical_output"]
     if report["budget"] is not None:
         return  # CI smoke: identity and shape only; timing is noise.
     assert dominated["speedup"] >= MIN_SPEEDUP, (
@@ -307,6 +410,41 @@ def _check(report: dict) -> None:
             f"ablation {dial}: {entry['slowdown_without']:.3f}x < "
             f"{entry['min_slowdown']}x on {entry['workload']} "
             f"({entry['mode']})"
+        )
+    # Trace formation.  The deterministic gates carry the claim: every
+    # workload that formed a trace must execute strictly fewer host
+    # molecules, and at least one must improve end-to-end mol/instr
+    # (amortizing its translation charge).  Wall clock is floor-gated
+    # only — the few-percent execution win is real but inside runner
+    # noise at these run lengths.
+    mpx_improved = []
+    for name, entry in report["traces"].items():
+        if entry["traces_formed"]:
+            assert entry["host_molecules_on"] < \
+                entry["host_molecules_off"], (
+                    f"traces {name}: formed {entry['traces_formed']} "
+                    f"traces yet executed no fewer molecules "
+                    f"({entry['host_molecules_on']} vs "
+                    f"{entry['host_molecules_off']})"
+                )
+        if entry["mpx_on"] < entry["mpx_off"]:
+            mpx_improved.append(name)
+    assert mpx_improved, (
+        "no workload improved mol/instr with traces on: "
+        + str({name: (entry["mpx_on"], entry["mpx_off"])
+               for name, entry in report["traces"].items()})
+    )
+    trace_speedups = {name: entry["trace_speedup"]
+                      for name, entry in report["traces"].items()}
+    best = max(trace_speedups.values())
+    assert best >= MIN_TRACE_BEST_SPEEDUP, (
+        f"every workload regressed past near-par with traces on "
+        f"(best {best:.3f}x < {MIN_TRACE_BEST_SPEEDUP}x: "
+        f"{trace_speedups})"
+    )
+    for name, speedup in trace_speedups.items():
+        assert speedup >= MIN_TRACE_FLOOR, (
+            f"traces {name}: {speedup:.3f}x < floor {MIN_TRACE_FLOOR}x"
         )
     micro = report["routing_micro"]
     assert micro["micro_speedup"] >= MIN_ROUTING_MICRO_SPEEDUP, (

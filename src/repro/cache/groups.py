@@ -85,6 +85,19 @@ class TranslationGroups:
     def drop_group(self, entry_eip: int) -> None:
         self._groups.pop(entry_eip, None)
 
+    def drop_host_code(self) -> None:
+        """Null compiled JIT callables on every parked version.
+
+        A tcache flush drops ``host_code`` on residents, but parked
+        versions outlive the flush (that is their purpose) — without
+        this, the group table keeps a whole generation of generated
+        functions reachable.  The versions themselves stay parked: a
+        reactivated one recompiles on first dispatch.
+        """
+        for group in self._groups.values():
+            for translation in group.values():
+                translation.host_code = None
+
     def entries(self) -> list[int]:
         """Entry addresses that currently hold at least one version."""
         return [entry for entry, group in self._groups.items() if group]

@@ -204,6 +204,10 @@ def encode_translation(translation: Translation) -> dict:
         "prologue_label": translation.prologue_label,
         "molecules": [_encode_molecule(m) for m in translation.molecules],
         "exit_atoms": exit_refs,
+        "trace_blocks": translation.trace_blocks,
+        "block_entries": list(translation.block_entries),
+        "modeled_cycles": translation.modeled_cycles,
+        "loop_trace": translation.loop_trace,
     }
 
 
@@ -224,6 +228,10 @@ def decode_translation(data: dict) -> Translation:
         exit_atoms=exit_atoms,
         prologue_label=data["prologue_label"],
         range_digests=tuple(data["range_digests"]),
+        trace_blocks=data.get("trace_blocks", 1),
+        block_entries=tuple(data.get("block_entries", ())),
+        modeled_cycles=data.get("modeled_cycles", 0),
+        loop_trace=data.get("loop_trace", False),
     )
 
 

@@ -190,7 +190,9 @@ class _Codegen:
         self._alias_lines(atom, depth + 1, store=False)
         reader = {1: "rd1", 2: "rd2b", 4: "rd4"}[atom.size]
         self.emit(depth + 1, f"v = {reader}(x)")
-        self.emit(depth + 1, "if ovl:")
+        # Store-forwarding with the buffer's O(1) bounds reject inlined:
+        # most loads miss the buffered range and skip the call entirely.
+        self.emit(depth + 1, f"if x < sb._hi and x + {atom.size} > sb._lo:")
         self.emit(depth + 2, f"v = fwd(x, {atom.size}, v)")
         self.emit(depth + 1, f"w[{atom.rd}] = v")
 
@@ -217,6 +219,10 @@ class _Codegen:
         self.emit(depth + 1, "ovl[x] = v & 255")
         for i in range(1, size):
             self.emit(depth + 1, f"ovl[x + {i}] = (v >> {8 * i}) & 255")
+        self.emit(depth + 1, "if x < sb._lo:")
+        self.emit(depth + 2, "sb._lo = x")
+        self.emit(depth + 1, f"if x + {size} > sb._hi:")
+        self.emit(depth + 2, f"sb._hi = x + {size}")
 
     def _plain_atom(self, atom, depth: int) -> None:
         kind = atom.kind

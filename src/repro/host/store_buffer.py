@@ -16,6 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# Empty-overlay sentinel for the forwarding bounds: ``_lo`` starts past
+# any address and ``_hi`` at zero, so the O(1) reject fires without an
+# emptiness special case and a store updates both with plain min/max.
+NO_LO = 1 << 62
+
 
 @dataclass
 class BufferedStore:
@@ -36,6 +41,13 @@ class GatedStoreBuffer:
         self.capacity = capacity
         self._entries: list[BufferedStore] = []
         self._overlay: dict[int, int] = {}  # paddr -> byte, RAM stores only
+        # Byte-address bounds of the overlay, [lo, hi) — lets forwarding
+        # reject non-overlapping loads in O(1).  Matters for unrolled
+        # loop traces, whose commit windows span several iterations and
+        # keep the overlay populated across most of the body.  The
+        # template JIT's inline store path maintains these too.
+        self._lo = NO_LO
+        self._hi = 0
         self.total_buffered = 0
         self.total_drained = 0
         self.total_dropped = 0
@@ -56,10 +68,14 @@ class GatedStoreBuffer:
         if not is_io:
             for i in range(size):
                 self._overlay[paddr + i] = (value >> (8 * i)) & 0xFF
+            if paddr < self._lo:
+                self._lo = paddr
+            if paddr + size > self._hi:
+                self._hi = paddr + size
 
     def forward(self, paddr: int, size: int, memory_value: int) -> int:
         """Merge buffered bytes over ``memory_value`` for a load."""
-        if not self._overlay:
+        if paddr >= self._hi or paddr + size <= self._lo:
             return memory_value
         merged = memory_value
         hit = False
@@ -74,6 +90,8 @@ class GatedStoreBuffer:
 
     def has_overlap(self, paddr: int, size: int) -> bool:
         """True if any buffered byte overlaps [paddr, paddr+size)."""
+        if paddr >= self._hi or paddr + size <= self._lo:
+            return False
         return any(paddr + i in self._overlay for i in range(size))
 
     def drain(self, bus) -> int:
@@ -83,6 +101,7 @@ class GatedStoreBuffer:
             bus.write(entry.paddr, entry.value, entry.size)
         self._entries.clear()
         self._overlay.clear()
+        self._lo, self._hi = NO_LO, 0
         self.total_drained += count
         return count
 
@@ -91,5 +110,6 @@ class GatedStoreBuffer:
         count = len(self._entries)
         self._entries.clear()
         self._overlay.clear()
+        self._lo, self._hi = NO_LO, 0
         self.total_dropped += count
         return count

@@ -348,6 +348,8 @@ _CMOVCC = {f"cmov{cc}": Op(Op.CMOVO + i)
            for i, cc in enumerate(_CC_SUFFIXES)}
 _CMOVCC["cmovz"] = Op.CMOVE
 _CMOVCC["cmovnz"] = Op.CMOVNE
+_CMOVCC["cmovc"] = Op.CMOVB
+_CMOVCC["cmovnc"] = Op.CMOVAE
 
 _JCC = {
     "jo": Op.JO, "jno": Op.JNO, "jb": Op.JB, "jc": Op.JB, "jae": Op.JAE,

@@ -1,0 +1,131 @@
+"""Port/latency cost model for the VLIW scheduler and trace growth.
+
+The scheduler used to optimize raw molecule count.  This module gives
+it (and the trace-growth heuristic) a shared machine model in the uiCA
+idiom: per-atom-class tables — issue-port widths (the throughput side)
+and result latencies (the dependence side) — plus a *completion time*
+metric over a placed schedule.  Modeled cycles for a schedule are the
+cycle in which the last result becomes available, not merely the number
+of issue slots consumed, so a schedule that hides a load's three-cycle
+latency under independent work is rewarded even when the molecule count
+ties.
+
+The tables mirror ``host.molecule`` (``SLOT_CLASSES`` / ``LATENCIES``):
+two ALUs, one memory unit, one FP/media unit, one branch unit, at most
+four atoms per molecule (§2).  They are defined once here and consumed
+by ``translator.schedule``; keeping one source of truth is the point.
+
+Trace-growth economics (§3.6.5-adjacent): extending a translation
+across a biased branch saves a dispatcher round trip on the likely path
+but costs a side-exit stub on the unlikely one.  ``extension_gain``
+prices that trade in modeled cycles using the probability mass that
+execution actually reaches the candidate block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.atoms import AluOp
+from repro.translator.ir import IROp, IROpKind
+
+# Result latencies in cycles by IR kind (multiply is special-cased: it
+# takes the FPM-latency path on the real part).
+_LATENCIES: dict[IROpKind, int] = {
+    IROpKind.LD: 3,
+    IROpKind.DIVU: 10,
+    IROpKind.DIVS: 10,
+    IROpKind.PORT_IN: 4,
+}
+_LAT_DEFAULT = 1
+_MUL_LATENCY = 3
+_MUL_OPS = {AluOp.MUL, AluOp.UMULH, AluOp.SMULH}
+
+# Issue ports and their per-cycle widths (throughput table).
+_PORTS: dict[str, int] = {"alu": 2, "mem": 1, "fpm": 1, "br": 1}
+_ISSUE_WIDTH = 4
+
+# Which ports each IR kind can issue to, in preference order.  Moves
+# fall back to the FP/media unit when both ALUs are busy, exactly as
+# ``host.molecule.SLOT_CLASSES`` allows for MOV/MOVI atoms.
+_PORT_PREFS: dict[IROpKind, tuple[str, ...]] = {
+    IROpKind.LD: ("mem",),
+    IROpKind.ST: ("mem",),
+    IROpKind.PORT_IN: ("mem",),
+    IROpKind.PORT_OUT: ("mem",),
+    IROpKind.DIVU: ("fpm",),
+    IROpKind.DIVS: ("fpm",),
+    IROpKind.EXIT_IF: ("br",),
+    IROpKind.EXIT: ("br",),
+    IROpKind.EXIT_IND: ("br",),
+    IROpKind.LOOP: ("br",),
+    IROpKind.COMMIT: ("br",),
+    IROpKind.MOVI: ("alu", "fpm"),
+    IROpKind.MOV: ("alu", "fpm"),
+    IROpKind.ALU: ("alu",),
+    IROpKind.ALUI: ("alu",),
+    IROpKind.SEL: ("alu",),
+}
+
+
+@dataclass(frozen=True)
+class MachineCostModel:
+    """Latency/throughput tables plus derived metrics.
+
+    Frozen: a model is a pure table set, shared between the scheduler
+    and the trace builder.  ``dispatch_cycles`` and ``side_exit_cycles``
+    price the dispatcher round trip a trace extension avoids and the
+    stub executed when a side exit fires (mirroring the accounting
+    model's ``dispatch_lookup`` charge and the two-molecule exit stub).
+    """
+
+    latencies: dict[IROpKind, int] = field(default_factory=lambda:
+                                           dict(_LATENCIES))
+    default_latency: int = _LAT_DEFAULT
+    mul_latency: int = _MUL_LATENCY
+    ports: dict[str, int] = field(default_factory=lambda: dict(_PORTS))
+    issue_width: int = _ISSUE_WIDTH
+    dispatch_cycles: int = 14
+    side_exit_cycles: int = 4
+
+    def latency(self, op: IROp) -> int:
+        if op.kind in (IROpKind.ALU, IROpKind.ALUI) and op.aluop in _MUL_OPS:
+            return self.mul_latency
+        return self.latencies.get(op.kind, self.default_latency)
+
+    def port_preferences(self, kind: IROpKind) -> tuple[str, ...]:
+        try:
+            return _PORT_PREFS[kind]
+        except KeyError:
+            raise AssertionError(f"unslottable kind {kind}") from None
+
+    def completion_cycles(self, cycles: list[list[IROp]]) -> int:
+        """Modeled cycles: when the last scheduled result is available.
+
+        ``max(issue_cycle + latency)`` over every placed op.  For serial
+        code this is strictly monotone in molecule count; for parallel
+        code it rewards packing *and* latency hiding.  Deterministic by
+        construction — a pure fold over the placement.
+        """
+        modeled = 0
+        for index, molecule in enumerate(cycles):
+            for op in molecule:
+                done = index + self.latency(op)
+                if done > modeled:
+                    modeled = done
+        return modeled
+
+    def extension_gain(self, reach: float) -> float:
+        """Expected modeled-cycle gain of growing a trace by one block.
+
+        ``reach`` is the probability that execution entering the trace
+        reaches the candidate block (the product of the followed-
+        direction probabilities of every conditional branch before it).
+        The likely path saves a dispatcher round trip; the unlikely
+        paths pay a side-exit stub they would not otherwise execute.
+        """
+        return reach * self.dispatch_cycles - (1.0 - reach) \
+            * self.side_exit_cycles
+
+
+DEFAULT_COST_MODEL = MachineCostModel()

@@ -28,13 +28,17 @@ Cycles with no issued atoms become explicit no-op molecules: the
 TM5800 has "very few hardware interlocks — CMS guarantees correct
 operation by careful scheduling, inserting no-ops if necessary" (§2),
 so schedule length is honestly visible in the executed-molecule metric.
+
+Issue widths, per-class latencies, and the modeled-cycle (completion
+time) objective all come from ``translator.costmodel`` — the same
+tables the trace-growth heuristic prices extensions with.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.host.atoms import AluOp
+from repro.translator.costmodel import DEFAULT_COST_MODEL, MachineCostModel
 from repro.translator.ir import (
     IROp,
     IROpKind,
@@ -44,44 +48,20 @@ from repro.translator.ir import (
 )
 from repro.translator.policies import TranslationPolicy
 
-# Result latencies in cycles, by IR kind (see host.molecule.LATENCIES).
-_LAT_DEFAULT = 1
-_LAT_LD = 3
-_LAT_DIV = 10
-_LAT_MUL = 3
-_LAT_PORT = 4
-
-_MUL_OPS = {AluOp.MUL, AluOp.UMULH, AluOp.SMULH}
-
-# Issue-slot classes per cycle: two ALUs, one memory, one FP/media, one
-# branch unit; at most four atoms issue per molecule.
-_MEM_KINDS = {IROpKind.LD, IROpKind.ST, IROpKind.PORT_IN, IROpKind.PORT_OUT}
-_FPM_KINDS = {IROpKind.DIVU, IROpKind.DIVS}
-_BR_KINDS = {IROpKind.EXIT_IF, IROpKind.EXIT, IROpKind.EXIT_IND,
-             IROpKind.LOOP, IROpKind.COMMIT}
-_MOVE_KINDS = {IROpKind.MOVI, IROpKind.MOV}
-_ALU_KINDS = {IROpKind.ALU, IROpKind.ALUI, IROpKind.SEL}
-
-
-def _latency(op: IROp) -> int:
-    if op.kind is IROpKind.LD:
-        return _LAT_LD
-    if op.kind in _FPM_KINDS:
-        return _LAT_DIV
-    if op.kind in (IROpKind.ALU, IROpKind.ALUI) and op.aluop in _MUL_OPS:
-        return _LAT_MUL
-    if op.kind is IROpKind.PORT_IN:
-        return _LAT_PORT
-    return _LAT_DEFAULT
-
 
 @dataclass
 class Schedule:
-    """The scheduler's result: ops grouped into issue cycles."""
+    """The scheduler's result: ops grouped into issue cycles.
+
+    ``modeled_cycles`` is the cost model's completion-time estimate for
+    this placement — the cycle in which the last result lands, not just
+    the issue-cycle count (see ``translator.costmodel``).
+    """
 
     cycles: list[list[IROp]] = field(default_factory=list)
     speculated_loads: int = 0
     hoisted_over_exits: int = 0
+    modeled_cycles: int = 0
 
     @property
     def num_cycles(self) -> int:
@@ -130,9 +110,11 @@ class Scheduler:
     """DAG construction + list scheduling for one trace."""
 
     def __init__(self, policy: TranslationPolicy,
-                 alias_entries: int = 8) -> None:
+                 alias_entries: int = 8,
+                 model: MachineCostModel | None = None) -> None:
         self.policy = policy
         self.alias_entries = alias_entries
+        self.model = model if model is not None else DEFAULT_COST_MODEL
 
     # ------------------------------------------------------------------
     # DAG construction
@@ -145,6 +127,7 @@ class Scheduler:
         n = len(ops)
         dag = _Dag(n)
         policy = self.policy
+        latency = self.model.latency
 
         last_def: dict = {}  # operand -> op index of last writer
         readers: dict = {}  # operand -> list of reader indices since write
@@ -164,7 +147,7 @@ class Scheduler:
             for src in op.srcs:
                 definer = last_def.get(src)
                 if definer is not None:
-                    dag.add_edge(definer, j, _latency(ops[definer]))
+                    dag.add_edge(definer, j, latency(ops[definer]))
                 if is_guest_loc(src):
                     readers.setdefault(src, []).append(j)
             for dest in op.writes():
@@ -188,7 +171,7 @@ class Scheduler:
             if is_barrier or is_final:
                 # Full barrier: ordered after everything so far.
                 for i in range(j):
-                    dag.add_edge(i, j, _latency(ops[i])
+                    dag.add_edge(i, j, latency(ops[i])
                                  if ops[i].writes() else 1)
                 last_barrier = j
                 stores, loads, faulting = [], [], []
@@ -289,8 +272,8 @@ class Scheduler:
 
         while remaining > 0:
             issued: list[int] = []
-            slots = {"alu": 2, "mem": 1, "fpm": 1, "br": 1}
-            atom_budget = 4
+            slots = dict(self.model.ports)
+            atom_budget = self.model.issue_width
             barrier_in_cycle = False
             candidates = sorted(
                 (i for i in ready if earliest[i] <= cycle_index),
@@ -330,25 +313,15 @@ class Scheduler:
                 raise RuntimeError("scheduler failed to converge")
 
         schedule = Schedule(cycles=cycles)
+        schedule.modeled_cycles = self.model.completion_cycles(cycles)
         self._apply_speculation_marks(ops, placed_cycle, spec_pairs, schedule)
         return schedule
 
-    @staticmethod
-    def _slot_for(op: IROp, slots: dict[str, int]) -> str | None:
-        kind = op.kind
-        if kind in _MEM_KINDS:
-            return "mem" if slots["mem"] else None
-        if kind in _FPM_KINDS:
-            return "fpm" if slots["fpm"] else None
-        if kind in _BR_KINDS:
-            return "br" if slots["br"] else None
-        if kind in _MOVE_KINDS:
-            if slots["alu"]:
-                return "alu"
-            return "fpm" if slots["fpm"] else None
-        if kind in _ALU_KINDS:
-            return "alu" if slots["alu"] else None
-        raise AssertionError(f"unslottable op {op}")
+    def _slot_for(self, op: IROp, slots: dict[str, int]) -> str | None:
+        for port in self.model.port_preferences(op.kind):
+            if slots[port]:
+                return port
+        return None
 
     def _apply_speculation_marks(
         self,

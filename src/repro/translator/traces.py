@@ -1,0 +1,177 @@
+"""Profile-driven superblock/trace formation.
+
+The region selector (``translator.region``) grows a single block: it
+follows unconditional jumps, direct calls, and the profiled-likely arm
+of conditional branches, but stops at joins (an address it already
+visited) and at the instruction cap.  The trace builder chains several
+such blocks into one extended translation region — a superblock: single
+entry, multiple guarded side exits — when the profile says execution
+overwhelmingly falls through the seam.
+
+Two growth shapes, both priced by ``translator.costmodel``:
+
+* **Seam chaining** — only ``BRANCH``/``CONT`` region ends are seams
+  (an ``INDIRECT`` end has no static successor); the candidate block
+  must not overlap the trace, and ``reach`` — the probability that
+  execution entering the trace is still on-trace at the seam, the
+  product of the followed-direction probabilities of every conditional
+  branch so far — must clear the configured floor *and* the cost
+  model's expected-gain test (dispatch-cycles saved on the likely path
+  vs. side-exit stub cycles on the unlikely ones).  A chained block
+  that ends with a back-edge to its own entry is rewritten into a
+  direct exit to that entry: chaining links the loop translation there.
+* **Loop unrolling** — a region that ends with a back-edge to its own
+  entry (``LOOP``) grows by tail duplication along that back edge:
+  extra copies of the body are peeled into the trace, the loop-exit
+  branch of each copy becomes an ordinary guarded side exit, and the
+  final copy keeps the back edge, so the unrolled loop still iterates
+  entirely inside the translation cache.  Reach decays by the
+  whole-body survival probability per copy, so hot counted loops
+  unroll deep while short or unbiased loops stay single.  The
+  translator accepts an unroll only when the scheduler's cost model
+  reports strictly fewer modeled cycles per guest instruction than the
+  single body — cross-iteration overlap has to pay for itself.
+
+Duplicated guest addresses are sound throughout the pipeline: follow
+decisions are keyed by address and identical for every copy, the
+self-check snapshot maps each address to one offset (``code_ranges``
+merges duplicate spans), and SMC protection invalidates the whole
+translation whichever copy's bytes are written.
+
+Side exits reuse the ordinary guarded-exit machinery: a mispredicted
+branch rolls back to the last commit and re-enters the dispatcher, so
+bit-identity with the interpreter is preserved by construction.  The
+dispatcher counts early side exits per trace and asks the adaptive
+controller to split storming traces back toward single blocks
+(§3.6.5-style demotion) — see ``cms.system``.
+"""
+
+from __future__ import annotations
+
+from repro.interp.profile import ExecutionProfile
+from repro.translator.costmodel import DEFAULT_COST_MODEL, MachineCostModel
+from repro.translator.policies import TranslationPolicy
+from repro.translator.region import Region, RegionEnd, RegionSelector
+
+# Followed-direction confidence assumed for a branch the profile has
+# never seen (the selector's static heuristic picked the arm): low
+# enough that unprofiled chains stop growing after a couple of seams.
+_STATIC_CONFIDENCE = 0.6
+
+
+class TraceBuilder:
+    """Chains profile-selected blocks into superblock regions."""
+
+    def __init__(self, selector: RegionSelector, profile: ExecutionProfile,
+                 min_reach: float = 0.35,
+                 model: MachineCostModel | None = None) -> None:
+        self._selector = selector
+        self._profile = profile
+        self._min_reach = min_reach
+        self._model = model if model is not None else DEFAULT_COST_MODEL
+
+    def build(self, entry_eip: int,
+              policy: TranslationPolicy) -> Region | None:
+        region = self._selector.select(entry_eip, policy)
+        if region is None:
+            return None
+        region.block_bounds = [0]
+        region.block_entries = [entry_eip]
+        if policy.max_blocks <= 1:
+            return region
+        if region.end is RegionEnd.LOOP and region.end_target == entry_eip:
+            # Unrolling is gated on runtime-proven hotness (the
+            # dispatcher escalates ``unroll_loops``), so cold loops get
+            # the cheap single-body translation.
+            if policy.unroll_loops:
+                self._unroll(region, policy)
+            return region
+
+        addresses = region.addresses
+        reach = self._block_reach(region.follow_taken)
+
+        while len(region.block_entries) < policy.max_blocks:
+            if region.end not in (RegionEnd.BRANCH, RegionEnd.CONT):
+                break
+            target = region.end_target
+            if target is None or target in addresses:
+                # A seam back into the trace itself would need tail
+                # duplication; leave it to chaining instead.
+                break
+            budget = policy.max_instructions - len(region.instrs)
+            if budget < 1:
+                break
+            if reach < self._min_reach:
+                break
+            if self._model.extension_gain(reach) <= 0:
+                break
+            block = self._selector.select(
+                target, policy.with_(max_instructions=budget))
+            if block is None:
+                break
+            block_addresses = block.addresses
+            if block_addresses & addresses:
+                break
+
+            region.block_bounds.append(len(region.instrs))
+            region.block_entries.append(target)
+            region.instrs.extend(block.instrs)
+            region.follow_taken.update(block.follow_taken)
+            addresses |= block_addresses
+
+            if block.end is RegionEnd.LOOP:
+                # The chained block loops back to its own entry, which
+                # is mid-trace here and cannot be a back-edge target;
+                # exit to it and let chaining link the loop translation.
+                region.end = RegionEnd.BRANCH
+                region.end_target = target
+                break
+            region.end = block.end
+            region.end_target = block.end_target
+            reach *= self._block_reach(block.follow_taken)
+
+        return region
+
+    def _unroll(self, region: Region, policy: TranslationPolicy) -> None:
+        """Peel extra copies of a loop body into the trace.
+
+        Tail duplication along the back edge: every copy's loop-exit
+        branch is already a guarded side exit (the frontend lowers the
+        not-followed direction of each conditional to ``EXIT_IF``), and
+        the back-edge branch of every copy but the last simply falls
+        through to the next copy in trace order.  ``follow_taken`` needs
+        no update — the copies repeat addresses with identical followed
+        directions.  The region keeps its ``LOOP`` end, so the unrolled
+        translation still iterates in-cache.
+
+        ``body_reach`` is the probability one iteration survives all of
+        its side exits *including* the back edge staying taken, so the
+        probability of reaching copy ``k`` is ``body_reach ** (k - 1)``;
+        growth stops when that falls under the reach floor.  Whether the
+        unroll actually schedules denser is judged afterwards by the
+        translator against the cost model.
+        """
+        body = list(region.instrs)
+        body_reach = self._block_reach(region.follow_taken)
+        reach = body_reach
+        while len(region.block_entries) < policy.max_blocks:
+            if len(region.instrs) + len(body) > policy.max_instructions:
+                break
+            if reach < self._min_reach:
+                break
+            region.block_bounds.append(len(region.instrs))
+            region.block_entries.append(region.entry_eip)
+            region.instrs.extend(body)
+            reach *= body_reach
+
+    def _block_reach(self, follow_taken: dict[int, bool]) -> float:
+        """Probability of surviving every side exit in one block."""
+        reach = 1.0
+        for addr, taken in follow_taken.items():
+            bias = self._profile.bias_for(addr)
+            if bias.total == 0:
+                reach *= _STATIC_CONFIDENCE
+                continue
+            fraction = bias.taken_fraction
+            reach *= fraction if taken else 1.0 - fraction
+        return reach

@@ -143,3 +143,62 @@ def test_random_programs_equivalent_tiny_regions(source):
 def test_random_programs_equivalent_no_fine_grain(source):
     config = CMSConfig(translation_threshold=3, fine_grain_protection=False)
     assert_equivalent(source, config=config)
+
+
+# Superblock traces (PR 7): force promotion and deep unrolling so the
+# duplicated-address machinery (per-copy guards, mid-trace commits,
+# rollback through early side exits) runs on programs nobody hand-built.
+DEEP_TRACES = CMSConfig(translation_threshold=3, trace_hot_molecules=16,
+                        trace_max_blocks=8, trace_min_reach=0.05,
+                        trace_mispredict_threshold=4)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(random_program())
+def test_random_programs_equivalent_deep_traces(source):
+    assert_equivalent(source, config=DEEP_TRACES)
+
+
+@st.composite
+def nested_random_program(draw) -> str:
+    """An outer loop re-entering a small randomized inner loop: the
+    shape that drives hot-loop promotion, ragged trip counts, and the
+    shallow-loop split ladder."""
+    body = draw(st.lists(body_instruction(), min_size=2, max_size=8))
+    inner_iters = draw(st.integers(min_value=1, max_value=7))
+    outer_iters = draw(st.integers(min_value=8, max_value=25))
+    body = [line.replace("{L}", str(index))
+            for index, line in enumerate(body)]
+    lines = "\n    ".join(body)
+    # The outer counter lives in memory above the body's store range
+    # (disp caps at 0x3fc): every general register is fair game for the
+    # randomized body, so none of them can carry loop state.
+    return f"""
+start:
+    mov esp, 0x8000
+    mov ebp, {BUF:#x}
+    mov ecx, {outer_iters}
+    store [ebp+0x400], ecx
+outer:
+    mov ecx, {inner_iters}
+inner:
+    {lines}
+    dec ecx
+    jnz inner
+    load ecx, [ebp+0x400]
+    dec ecx
+    store [ebp+0x400], ecx
+    jnz outer
+    cli
+    hlt
+"""
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(nested_random_program())
+def test_nested_random_programs_equivalent_deep_traces(source):
+    assert_equivalent(source, config=DEEP_TRACES)

@@ -36,6 +36,20 @@ class TestEncoding:
         assert second.op is Op.CMOVNE
         assert (second.r1, second.r2) == (3, 1)
 
+    def test_carry_aliases(self):
+        # The fuzz generator emits the carry spellings; they must map to
+        # the below/above-or-equal opcodes like the setcc family does.
+        program = assemble("start: setc eax\nsetnc edx\n"
+                           "cmovc ebx, ecx\ncmovnc esi, edi\n")
+        fetch = BytesFetcher(program.flatten(), base=0)
+        ops = []
+        addr = program.entry
+        for _ in range(4):
+            instr = decode(fetch, addr)
+            ops.append(instr.op)
+            addr = instr.next_addr
+        assert ops == [Op.SETB, Op.SETAE, Op.CMOVB, Op.CMOVAE]
+
     def test_setcc_writes_register(self):
         program = assemble("start: sete edi\n")
         fetch = BytesFetcher(program.flatten(), base=0)

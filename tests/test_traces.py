@@ -1,0 +1,292 @@
+"""Superblock/trace formation tests (PR 7).
+
+The differential matrix the trace work is pinned by:
+
+* hot loops promote to unrolled traces and the unroll is judged by the
+  cost model (molecule density must strictly improve);
+* side exits roll back through the ordinary commit machinery, so a
+  traced run is bit-identical to the interpreter — including trip
+  counts that are not a multiple of the unroll depth;
+* shallow loops (trip count below the depth) storm the mispredict
+  counter and the split ladder walks the depth back down;
+* SMC writes to any copy of a duplicated body invalidate the whole
+  trace;
+* degraded tiers clamp regions back to single blocks;
+* traces survive a persistent-snapshot roundtrip;
+* ``tcache.flush()`` drops compiled JIT callables on group-parked
+  retired versions, not just on residents (regression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import CMSConfig
+from repro.cms.degrade import Tier
+from repro.cms.system import CodeMorphingSystem
+from repro.isa.assembler import assemble
+from repro.machine import Machine
+
+from conftest import assert_equivalent, run_cms
+
+# Low thresholds so the dispatcher promotes within test-sized runs.
+FAST = CMSConfig(translation_threshold=4, trace_hot_molecules=64)
+
+# A nested counted loop whose body carries four independent accumulator
+# chains: the scheduler can overlap peeled copies, so the unroll judge
+# accepts the trace.  The inner loop is entered repeatedly by the outer
+# loop — promotion needs dispatcher-visible loop completions.
+HOT_NEST = """
+        mov edi, 60
+        mov eax, 0
+        mov ebx, 0
+        mov edx, 0
+        mov ebp, 0
+outer:  mov ecx, 50
+inner:  add eax, 1
+        add ebx, 3
+        add edx, 5
+        add ebp, 7
+        xor eax, ebx
+        sub ecx, 1
+        jnz inner
+        sub edi, 1
+        jnz outer
+        hlt
+"""
+
+# Same shape, trip count 53: never a multiple of any unroll depth, so
+# every pass ends in a mid-copy side exit (guarded rollback path).
+RAGGED_NEST = HOT_NEST.replace("mov ecx, 50", "mov ecx, 53")
+
+# Trip count 2: shallower than any accepted unroll depth, so every
+# entry exits from an early copy and the split ladder must demote.
+SHALLOW_NEST = HOT_NEST.replace("mov ecx, 50", "mov ecx, 2")
+
+# The HOT_NEST body with its first immediate patched every outer
+# iteration — SMC landing inside (every copy of) an unrolled body.
+SMC_NEST = """
+        mov edi, 40
+        mov eax, 0
+        mov ebx, 0
+        mov edx, 0
+        mov ebp, 0
+outer:  mov esi, patch_site + 2
+        store [esi], edi
+        mov ecx, 50
+inner:
+patch_site:
+        add eax, 0x11111111
+        add ebx, 3
+        add edx, 5
+        add ebp, 7
+        xor eax, ebx
+        sub ecx, 1
+        jnz inner
+        sub edi, 1
+        jnz outer
+        hlt
+"""
+
+
+def inner_entry(source: str) -> int:
+    return assemble(source).symbols["inner"]
+
+
+def resident_trace(system, entry: int):
+    translation = system.tcache.lookup(entry)
+    assert translation is not None, f"no translation resident at {entry:#x}"
+    return translation
+
+
+class TestLoopPromotion:
+    def test_hot_loop_promotes_to_unrolled_trace(self):
+        system, result = run_cms(HOT_NEST, FAST)
+        assert result.halted
+        stats = system.stats
+        assert stats.trace_promotions >= 1
+        assert stats.traces_formed >= 1
+        trace = resident_trace(system, inner_entry(HOT_NEST))
+        assert trace.loop_trace
+        assert trace.trace_blocks > 1
+        assert trace.policy.unroll_loops
+        # Every peeled copy re-enters at the loop head.
+        assert set(trace.block_entries) == {trace.entry_eip}
+
+    def test_promotion_is_judged_by_molecule_density(self):
+        """The unroll stands only when molecules per guest instruction
+        strictly drop; the resident trace must therefore be denser than
+        a single body would be (blocks * single-body molecules)."""
+        system, _ = run_cms(HOT_NEST, FAST)
+        trace = resident_trace(system, inner_entry(HOT_NEST))
+        per_instr = trace.num_molecules / trace.guest_instr_count
+        body_instrs = trace.guest_instr_count // trace.trace_blocks
+        assert body_instrs * trace.trace_blocks == trace.guest_instr_count
+        # A rejected unroll would never be resident, so density must
+        # beat the single-body fixpoint the judge compared against.
+        single, _ = run_cms(HOT_NEST,
+                            replace(FAST, trace_formation=False))
+        single_t = resident_trace(single, inner_entry(HOT_NEST))
+        assert per_instr < (single_t.num_molecules
+                            / single_t.guest_instr_count)
+
+    def test_loop_exits_are_tallied_not_mispredicts(self):
+        system, _ = run_cms(HOT_NEST, FAST)
+        stats = system.stats
+        assert stats.trace_loop_exits >= 1
+        assert stats.trace_splits == 0
+
+    def test_cold_loop_stays_single_block(self):
+        cold = replace(FAST, trace_hot_molecules=1 << 30)
+        system, _ = run_cms(HOT_NEST, cold)
+        assert system.stats.trace_promotions == 0
+        assert resident_trace(system, inner_entry(HOT_NEST)) \
+            .trace_blocks == 1
+
+
+class TestSideExitRollback:
+    def test_traced_run_is_bit_identical(self):
+        assert_equivalent(HOT_NEST, FAST)
+
+    def test_ragged_trip_count_side_exits_are_bit_identical(self):
+        """Trip count 53 never divides the depth: every pass exits from
+        a mid-copy guard, exercising rollback + dispatcher re-entry."""
+        both = assert_equivalent(RAGGED_NEST, FAST)
+        assert both.cms_system.stats.traces_formed >= 1
+
+    def test_deep_traces_are_bit_identical(self):
+        deep = replace(FAST, trace_max_blocks=8, trace_min_reach=0.05,
+                       trace_hot_molecules=16)
+        assert_equivalent(HOT_NEST, deep)
+        assert_equivalent(RAGGED_NEST, deep)
+
+
+class TestMispredictSplit:
+    def test_shallow_loop_splits_back_down(self):
+        cfg = replace(FAST, trace_hot_molecules=16, trace_min_reach=0.05)
+        system, result = run_cms(SHALLOW_NEST, cfg)
+        assert result.halted
+        stats = system.stats
+        assert stats.trace_promotions >= 1
+        assert stats.trace_side_exits >= cfg.trace_mispredict_threshold
+        assert stats.trace_splits >= 1
+        # The ladder converges: the surviving translation is no deeper
+        # than where the exits stopped storming.
+        trace = resident_trace(system, inner_entry(SHALLOW_NEST))
+        assert trace.trace_blocks == 1
+
+    def test_shallow_loop_stays_bit_identical_through_splits(self):
+        cfg = replace(FAST, trace_hot_molecules=16, trace_min_reach=0.05)
+        assert_equivalent(SHALLOW_NEST, cfg)
+
+    def test_split_is_monotone_in_controller(self):
+        cfg = replace(FAST, trace_hot_molecules=16, trace_min_reach=0.05)
+        system, _ = run_cms(SHALLOW_NEST, cfg)
+        entry = inner_entry(SHALLOW_NEST)
+        policy = system.controller.policy_for(entry)
+        assert policy.max_blocks == 1
+        assert policy.unroll_loops  # sticky: never re-judged
+
+
+class TestSMCInvalidation:
+    def test_patch_inside_unrolled_body_is_bit_identical(self):
+        cfg = replace(FAST, trace_hot_molecules=16, stylized_smc=False)
+        both = assert_equivalent(SMC_NEST, cfg)
+        stats = both.cms_system.stats
+        assert stats.trace_promotions >= 1
+        assert stats.smc_invalidations >= 1
+
+    def test_invalidation_drops_every_copy(self):
+        """The patched address occurs in every peeled copy; one write
+        must take down the whole translation, not one block of it."""
+        cfg = replace(FAST, trace_hot_molecules=16, stylized_smc=False)
+        system, _ = run_cms(SMC_NEST, cfg)
+        program = assemble(SMC_NEST)
+        patch = program.symbols["patch_site"] + 2
+        for translation in system.tcache.translations():
+            if translation.trace_blocks > 1 and \
+                    translation.overlaps(patch, 4):
+                # Any still-resident trace over the patch site must
+                # carry the *current* bytes (it was re-formed after the
+                # last invalidation, not left stale).
+                assert translation.valid
+
+
+class TestDegradedTierClamp:
+    def test_degraded_region_keeps_single_block(self):
+        machine = Machine()
+        entry = machine.load_source(HOT_NEST)
+        system = CodeMorphingSystem(machine, FAST)
+        inner = inner_entry(HOT_NEST)
+        system.degrade._health(inner).tier = Tier.CONSERVATIVE
+        result = system.run(entry)
+        assert result.halted
+        assert system.stats.traces_formed == 0
+        assert resident_trace(system, inner).trace_blocks == 1
+
+
+class TestSnapshotRoundtrip:
+    def test_trace_survives_snapshot_roundtrip(self, tmp_path):
+        path = str(tmp_path / "traces.snap")
+        cold_cfg = replace(FAST, snapshot_path=path, snapshot_save=True)
+        machine = Machine()
+        entry = machine.load_source(HOT_NEST)
+        cold = CodeMorphingSystem(machine, cold_cfg)
+        cold.run(entry)
+        cold.shutdown()
+        inner = inner_entry(HOT_NEST)
+        cold_trace = resident_trace(cold, inner)
+        assert cold_trace.trace_blocks > 1
+
+        warm_machine = Machine()
+        warm_entry = warm_machine.load_source(HOT_NEST)
+        warm = CodeMorphingSystem(warm_machine,
+                                  replace(FAST, snapshot_path=path))
+        assert warm.stats.snapshot_translations_loaded >= 1
+        warm_trace = resident_trace(warm, inner)
+        assert warm_trace.loop_trace == cold_trace.loop_trace is True
+        assert warm_trace.trace_blocks == cold_trace.trace_blocks
+        assert warm_trace.block_entries == cold_trace.block_entries
+        # And the warm system still runs the guest correctly.
+        warm_result = warm.run(warm_entry)
+        assert warm_result.halted
+
+
+class TestFlushDropsParkedCallables:
+    """Regression: ``tcache.flush()`` nulled ``host_code`` on resident
+    translations but left compiled JIT callables alive on group-parked
+    retired versions — a whole generation of generated functions kept
+    reachable by the group table after the cache decided to drop
+    everything."""
+
+    def test_flush_drops_parked_host_code(self):
+        system, _ = run_cms(HOT_NEST, FAST)
+        trace = resident_trace(system, inner_entry(HOT_NEST))
+        assert trace.host_code is not None, "JIT should have compiled it"
+        # Park it the way SMC version churn does: out of the cache,
+        # into the group table, callable still attached.
+        system.tcache.remove(trace)
+        system.groups.retire(trace)
+        assert trace.host_code is not None
+
+        system.tcache.flush()
+
+        parked = [t for versions in
+                  system.groups.export_versions().values()
+                  for t in versions]
+        assert trace in parked, "flush must not drop the version itself"
+        assert all(t.host_code is None for t in parked), \
+            "flush left compiled callables on group-parked versions"
+
+    def test_flush_drops_resident_host_code(self):
+        system, _ = run_cms(HOT_NEST, FAST)
+        residents = system.tcache.translations()
+        assert any(t.host_code is not None for t in residents)
+        system.tcache.flush()
+        assert all(t.host_code is None for t in residents)
+
+    def test_evicted_victims_lose_host_code(self):
+        system, _ = run_cms(HOT_NEST, FAST)
+        victims = system.tcache.evict_cold(fraction=1.0)
+        assert victims
+        assert all(t.host_code is None for t in victims)
