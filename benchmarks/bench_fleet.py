@@ -1,0 +1,279 @@
+"""Fleet serving: shared translations vs per-tenant cold starts.
+
+The fleet supervisor (``repro.fleet``) runs N isolated CMS tenants
+under cooperative slices with a shared content-addressed translation
+service.  This benchmark measures the headline the sharing layer buys:
+once one tenant has paid the translation cost for a code mix, the
+whole fleet serves that mix at warm speed.
+
+Protocol (mirrors ``bench_warmstart``'s cold/prime/warm convention):
+
+1. **solo cold** — one tenant runs the mix with an empty shared store;
+   timed.  This is the per-tenant cost without the fleet layer.
+2. **seed** — one untimed run publishes its translations into a fresh
+   ``SharedTranslationService`` (the "first tenant of the day").
+3. **warm fleet** — ``TENANTS`` tenants run the same mix against the
+   seeded store; every tenant imports (and §3.6.2-revalidates) the
+   published translations at startup instead of retranslating; timed.
+
+Both timed sections keep the fastest of ``REPEATS`` runs, so a loaded
+host (e.g. the full benchmark suite) doesn't flake the timing gate.
+
+The workload is a *flat-profile* mix: many distinct medium-heat
+procedures, each crossing the translation threshold but none dominating
+— the shape where translation overhead is the largest fraction of run
+time (§2's "overhead must be amortized" premise) and sharing therefore
+pays most.  Peaked mixes (one hot loop) amortize translation in any
+single tenant and gain less; ``EXPERIMENTS.md`` discusses the spread.
+
+Acceptance gate (full runs only): aggregate fleet IPS must be at least
+``REQUIRED_SPEEDUP`` (2.5) times the solo-cold single-tenant IPS.
+Counter metrics (imports, share stats, instruction counts) are
+deterministic under a fixed ``REPRO_WALLCLOCK_BUDGET`` and gated
+exactly by ``benchmarks/compare.py`` in CI; timing metrics carry the
+usual markers (``seconds``/``ips``/``speedup``) and stay advisory.
+Results land in ``results.txt`` and ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from common import emit_telemetry, print_table
+
+from repro.cms.config import CMSConfig
+from repro.fleet import (
+    FleetConfig,
+    FleetSupervisor,
+    SharedTranslationService,
+    TenantSpec,
+)
+from repro.host import jit
+from repro.workloads.builder import wrap
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_fleet.json")
+
+TENANTS = 4
+REQUIRED_SPEEDUP = 2.5
+#: Timed sections run this many times and keep the fastest wall
+#: reading (standard best-of-N noise suppression; a loaded host can
+#: only make a run slower, never faster).  Counters are identical
+#: across repeats — every repeat gets a fresh store and JIT cache —
+#: so the reported counter metrics stay deterministic.
+REPEATS = 3
+
+#: Flat-profile mix shape: PROCEDURES distinct regions, each executed
+#: CALLS times (over the 20-execution translation threshold, far from
+#: hot-loop territory).
+PROCEDURES = 48
+CALLS = 30
+
+_FLEET = FleetConfig(
+    slice_guest_instructions=4_000,
+    slice_wall_budget=0.0,  # deterministic counters for the perf gate
+    share_refresh_rounds=4,
+    snapshot_dir=None,  # sharing is in-memory; no disk in the loop
+)
+
+
+def _flat_profile_source(procedures: int = PROCEDURES,
+                         calls: int = CALLS) -> str:
+    """Many distinct warm procedures, none hot."""
+    lines = [f"    mov edi, {calls}", "fp_outer:"]
+    lines += [f"    call fp_proc{i}" for i in range(procedures)]
+    lines += ["    dec edi", "    jnz fp_outer", "    jmp fp_done"]
+    for i in range(procedures):
+        seed = (0x9E3779B1 * (i + 1)) & 0xFFFFFFFF
+        lines += [
+            f"fp_proc{i}:",
+            f"    mov eax, {seed}",
+            "    imul eax, 0x9E3B",
+            f"    xor eax, {(seed >> 7) & 0xFFFF}",
+            "    xor esi, eax",
+            f"    add esi, {i + 1}",
+            "    shl eax, 1",
+            "    xor esi, eax",
+            "    ret",
+        ]
+    lines.append("fp_done:")
+    return wrap("\n".join(lines))
+
+
+def _budget() -> int | None:
+    raw = os.environ.get("REPRO_WALLCLOCK_BUDGET", "").strip()
+    if not raw:
+        return None
+    budget = int(raw)
+    if budget <= 0:
+        raise SystemExit(
+            f"REPRO_WALLCLOCK_BUDGET must be positive, got {budget}")
+    return budget
+
+
+def _specs(count: int, max_instructions: int) -> list[TenantSpec]:
+    source = _flat_profile_source()
+    return [
+        TenantSpec(tenant_id=i, source=source, name=f"warm{i}",
+                   max_instructions=max_instructions,
+                   config=CMSConfig())
+        for i in range(count)
+    ]
+
+
+def _run_fleet(count: int, max_instructions: int,
+               share: SharedTranslationService | None
+               ) -> tuple[float, "FleetSupervisor", object]:
+    supervisor = FleetSupervisor(_specs(count, max_instructions),
+                                 _FLEET, share=share)
+    start = time.perf_counter()
+    result = supervisor.run()
+    return time.perf_counter() - start, supervisor, result
+
+
+def _collect() -> dict:
+    budget = _budget()
+    max_instructions = budget if budget is not None else 50_000_000
+
+    # 1. Solo cold: one tenant, empty store.  Best-of-REPEATS timing;
+    # the JIT code cache is cleared per repeat so compile costs (and
+    # the hit counters below) are identical every time.
+    solo_secs = None
+    for _ in range(REPEATS):
+        jit._CODE_CACHE.clear()
+        secs, solo_sup, solo_res = _run_fleet(
+            1, max_instructions, SharedTranslationService())
+        solo_secs = secs if solo_secs is None else min(solo_secs, secs)
+    solo = solo_sup.tenants[0]
+
+    # 2+3. Seed pass (untimed) publishing the mix's translations, then
+    # the timed warm fleet against the seeded store.  Each repeat seeds
+    # a fresh store, so share counters don't accumulate across repeats.
+    fleet_secs = None
+    for _ in range(REPEATS):
+        store = SharedTranslationService()
+        _run_fleet(1, max_instructions, store)
+        seeded = len(store)
+        jit._CODE_CACHE.clear()  # warm tenants share compiles among themselves
+        secs, fleet_sup, fleet_res = _run_fleet(
+            TENANTS, max_instructions, store)
+        fleet_secs = secs if fleet_secs is None else min(fleet_secs, secs)
+
+    solo_instructions = solo_res.total_guest_instructions
+    fleet_instructions = fleet_res.total_guest_instructions
+    solo_ips = solo_instructions / solo_secs if solo_secs else 0.0
+    aggregate_ips = fleet_instructions / fleet_secs if fleet_secs else 0.0
+    tenants = {}
+    for tenant in fleet_sup.tenants:
+        stats = (tenant.result.stats if tenant.result is not None
+                 else tenant.system.stats)
+        tenants[tenant.spec.label] = {
+            "state": tenant.state.value,
+            "imported_translations": tenant.imported_translations,
+            "translations_made": stats.translations_made,
+            "jit_code_cache_hits": stats.jit_code_cache_hits,
+            "console_matches_solo": (
+                tenant.system.machine.console.output
+                == solo.system.machine.console.output),
+        }
+    return {
+        "budget": budget,
+        "tenants": TENANTS,
+        "mix": {"procedures": PROCEDURES, "calls": CALLS},
+        "seeded_entries": seeded,
+        "solo": {
+            "guest_instructions": solo_instructions,
+            "translations_made": solo.result.stats.translations_made,
+            "solo_seconds": round(solo_secs, 4),
+            "solo_ips": round(solo_ips, 1),
+        },
+        "fleet": {
+            "guest_instructions": fleet_instructions,
+            "rounds": fleet_res.rounds,
+            "healthy": fleet_res.health.healthy,
+            "share": fleet_sup.share.stats.as_dict(),
+            "fleet_seconds": round(fleet_secs, 4),
+            "aggregate_ips": round(aggregate_ips, 1),
+            "slice_p50_seconds": round(
+                fleet_res.latency_us.quantile(0.5) / 1e6, 6),
+            "slice_p99_seconds": round(
+                fleet_res.latency_us.quantile(0.99) / 1e6, 6),
+            "fleet_speedup": round(aggregate_ips / solo_ips, 3)
+            if solo_ips else 0.0,
+        },
+        "per_tenant": tenants,
+    }
+
+
+def _emit(report: dict) -> None:
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit_telemetry("bench-fleet", report)
+    solo, fleet = report["solo"], report["fleet"]
+    rows = [
+        ("solo cold",
+         f"{solo['guest_instructions']:>9,} instr  "
+         f"{solo['translations_made']:>3} translations  "
+         f"{solo['solo_seconds']:.3f}s  {solo['solo_ips']:>10,.0f} IPS"),
+        (f"warm fleet x{report['tenants']}",
+         f"{fleet['guest_instructions']:>9,} instr  "
+         f"{fleet['share']['imported']:>3} imports      "
+         f"{fleet['fleet_seconds']:.3f}s  "
+         f"{fleet['aggregate_ips']:>10,.0f} IPS"),
+        ("aggregate speedup",
+         f"{fleet['fleet_speedup']:.2f}x single-tenant throughput "
+         f"(gate: >= {REQUIRED_SPEEDUP}x)"),
+        ("slice latency",
+         f"p50 {fleet['slice_p50_seconds'] * 1e3:.2f} ms, "
+         f"p99 {fleet['slice_p99_seconds'] * 1e3:.2f} ms"),
+        ("shared cache",
+         f"{report['seeded_entries']} seeded, hit rate "
+         f"{fleet['share']['hit_rate']:.2f}, "
+         f"{fleet['share']['rejected_checksum']} integrity + "
+         f"{fleet['share']['rejected_revalidation']} revalidation "
+         f"rejections"),
+    ]
+    budget = report["budget"]
+    print_table(
+        "Fleet serving (shared translations vs per-tenant cold start)",
+        rows,
+        footer=f"budget={'full' if budget is None else budget}; "
+               f"{report['mix']['procedures']}-procedure flat-profile "
+               f"mix; every warm tenant's console output identical to "
+               f"the solo run",
+    )
+
+
+def _check(report: dict) -> None:
+    assert report["fleet"]["healthy"], "fleet run ended unhealthy"
+    assert report["seeded_entries"] > 0, "seed pass published nothing"
+    for label, row in report["per_tenant"].items():
+        assert row["state"] == "done", f"{label}: ended {row['state']}"
+        assert row["imported_translations"] > 0, (
+            f"{label}: warm tenant imported nothing from the shared "
+            f"store")
+        assert row["console_matches_solo"], (
+            f"{label}: console output diverged from the solo run")
+    if report["budget"] is None:
+        # Real-timing gate, full runs only: budgeted CI smoke runs are
+        # dominated by startup cost and gate on counters instead.
+        speedup = report["fleet"]["fleet_speedup"]
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"aggregate fleet throughput only {speedup:.2f}x the "
+            f"single-tenant baseline (need >= {REQUIRED_SPEEDUP}x)")
+
+
+def test_fleet(benchmark):
+    report = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    _emit(report)
+    _check(report)
+
+
+if __name__ == "__main__":
+    report = _collect()
+    _emit(report)
+    _check(report)
+    print("ok")

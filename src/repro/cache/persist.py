@@ -61,7 +61,7 @@ _CONFIG_EXCLUDE = frozenset({
     "snapshot_path", "snapshot_save", "snapshot_strict_config",
     "obs_enabled", "obs_jsonl_path", "obs_histogram_buckets",
     "decode_cache", "fast_bus_routing", "fast_dispatch", "template_jit",
-    "chaos_rate", "chaos_seed",
+    "chaos_rate", "chaos_seed", "chaos_tenant",
 })
 
 #: Atom fields that are chain state (dispatcher-owned, re-established
@@ -433,7 +433,7 @@ def _apply_payload(system, payload: dict,
     system.controller.import_state(controller_state)
 
     for translation in resident:
-        if _revalidate(system, translation):
+        if revalidate_translation(system, translation):
             system.register_loaded_translation(translation)
             report.loaded += 1
         else:
@@ -454,8 +454,13 @@ def _apply_payload(system, payload: dict,
             report.group_versions += 1
 
 
-def _revalidate(system, translation: Translation) -> bool:
-    """§3.6.2-style load-time check: recorded digests vs guest RAM."""
+def revalidate_translation(system, translation: Translation) -> bool:
+    """§3.6.2-style load-time check: recorded digests vs guest RAM.
+
+    Public: the fleet's shared translation service runs this same check
+    on every cross-tenant import, so a shared entry is trusted only
+    against the *importing* tenant's current code bytes.
+    """
     from repro.isa.exceptions import GuestException
 
     digests = translation.range_digests

@@ -112,6 +112,10 @@ class CMSConfig:
     # containment layer must keep every such failure guest-invisible.
     chaos_rate: float = 0.0
     chaos_seed: int = 0
+    # Multi-instance identity (fleet serving): the chaos stream is
+    # derived from ``(chaos_seed, chaos_tenant)``, so two tenants
+    # sharing a base config fault independently, never in lockstep.
+    chaos_tenant: int = 0
 
     # Observability (PR 4).  ``obs_enabled`` gates the whole layer —
     # phase timing, per-region hot-spot attribution, the metrics

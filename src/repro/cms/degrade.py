@@ -40,6 +40,7 @@ Results feed the :class:`~repro.cms.stats.HealthReport` behind the
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -94,17 +95,32 @@ class RegionHealth:
     events: int = 0  # lifetime degrade-relevant events
 
 
+def derive_seed(base_seed: int, tenant: int, stream: str = "") -> int:
+    """A per-``(base_seed, tenant, stream)`` RNG seed.
+
+    sha256-mixed (never Python's salted ``hash``) so the derivation is
+    stable across processes and uncorrelated between tenants: two
+    tenants constructed from the same base config draw independent
+    streams instead of faulting in lockstep.
+    """
+    material = f"{base_seed}:{tenant}:{stream}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
 class ChaosMonkey:
     """Deterministic internal-failure injector for the chaos campaigns.
 
     Each ``maybe_raise`` call draws from a seeded stream; the decision
-    sequence depends only on ``(seed, call order)`` so a chaos run is
-    reproducible from its command line.
+    sequence depends only on ``(seed, tenant, call order)`` so a chaos
+    run is reproducible from its command line.  ``tenant`` decorrelates
+    same-seed instances (fleet serving): tenant 0 keeps the historical
+    stream, so existing single-instance campaigns replay unchanged.
     """
 
-    def __init__(self, rate: float, seed: int) -> None:
+    def __init__(self, rate: float, seed: int, tenant: int = 0) -> None:
         self.rate = rate
-        self._rng = random.Random(seed)
+        self._rng = random.Random(
+            seed if tenant == 0 else derive_seed(seed, tenant, "chaos"))
         self.injected = 0
 
     def maybe_raise(self, stage: str) -> None:

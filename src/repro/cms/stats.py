@@ -84,6 +84,7 @@ class CMSStats:
     jit_dispatches: int = 0
     jit_compiles: int = 0
     jit_compile_failures: int = 0
+    jit_code_cache_hits: int = 0  # compile skipped via shared code cache
     jit_bailouts: Counter = field(default_factory=Counter)  # by reason
 
     def as_dict(self, cost: CostModel | None = None) -> dict:

@@ -150,7 +150,8 @@ class CodeMorphingSystem:
         # errors inside the translator so the containment layer can be
         # audited end to end.  The wrapper sits *inside* the containment
         # boundaries, exactly where a real translator bug would fire.
-        self.chaos = (ChaosMonkey(config.chaos_rate, config.chaos_seed)
+        self.chaos = (ChaosMonkey(config.chaos_rate, config.chaos_seed,
+                                  tenant=config.chaos_tenant)
                       if config.chaos_rate > 0.0 else None)
         if self.chaos is not None:
             inner_translate = self.translator.translate
@@ -202,6 +203,47 @@ class CodeMorphingSystem:
             stats=self.stats,
             console_output=machine.console.output,
         )
+
+    def run_slice(self, guest_budget: int, should_preempt=None) -> bool:
+        """Run up to ``guest_budget`` more guest instructions, then yield.
+
+        The cooperative-scheduling entry point for fleet serving: the
+        supervisor interleaves tenants by calling this round-robin.  The
+        slice ends at the guest-instruction deadline, at a guest halt,
+        or as soon as ``should_preempt()`` (the supervisor's watchdog
+        hook, consulted between dispatches) returns True.  A single
+        dispatch is itself bounded by ``dispatch_fuel_molecules`` — a
+        runaway translation FUEL-exits and rolls back — so no one
+        dispatch can hold the fleet hostage.
+
+        Returns True while the guest can still make progress.
+        """
+        machine = self.machine
+        deadline = machine.instructions_retired + guest_budget
+        try:
+            while machine.instructions_retired < deadline and \
+                    not self._halted:
+                self._dispatch_once()
+                if should_preempt is not None and should_preempt():
+                    break
+        except Halted:
+            self._halted = True
+        return not self._halted
+
+    def finalize_run(self) -> RunResult:
+        """Close out a slice-driven run (what ``run`` does after its
+        loop): fold engine counters into stats and build the result."""
+        self._finalize_stats()
+        return RunResult(
+            halted=self._halted,
+            guest_instructions=self.machine.instructions_retired,
+            stats=self.stats,
+            console_output=self.machine.console.output,
+        )
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
 
     def _finalize_stats(self) -> None:
         self.stats.host_molecules = self.cpu.molecules_executed

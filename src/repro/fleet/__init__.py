@@ -1,0 +1,30 @@
+"""Fleet serving: fault-isolated multi-tenant CMS supervision.
+
+The paper's safety story — speculation is safe because recovery is
+always available (§3.2 rollback, §3.6.2 revalidation) — scales here
+from one guest VM to a supervised fleet.  A tenant hanging, dying, or
+serving poisoned cache state is treated as just another recoverable
+speculation failure: contained to that tenant, rolled back to its last
+good warm snapshot, retried under exponential backoff, and circuit-
+broken into interpret-only parking when retries exhaust.  The shared
+translation service generalizes the §3.6.2 self-revalidating prologue
+one more level: a translation published by one tenant is admitted into
+another only after its recorded code digests revalidate against the
+*importing* tenant's guest RAM.
+"""
+
+from repro.fleet.config import FleetConfig, TenantSpec
+from repro.fleet.share import SharedTranslationService
+from repro.fleet.supervisor import FleetHealth, FleetResult, FleetSupervisor
+from repro.fleet.tenant import Tenant, TenantState
+
+__all__ = [
+    "FleetConfig",
+    "TenantSpec",
+    "SharedTranslationService",
+    "FleetSupervisor",
+    "FleetResult",
+    "FleetHealth",
+    "Tenant",
+    "TenantState",
+]

@@ -1,0 +1,70 @@
+"""Fleet-level configuration: tenant specs and supervisor dials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cms.config import CMSConfig
+from repro.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a guest program plus its CMS configuration.
+
+    ``tenant_id`` feeds ``CMSConfig.chaos_tenant`` (and any fuzz
+    injection salt), so same-config tenants draw independent failure
+    streams.  ``max_instructions`` bounds the tenant's whole run, not
+    one slice.
+    """
+
+    tenant_id: int
+    source: str
+    name: str = ""
+    max_instructions: int = 50_000_000
+    config: CMSConfig = field(default_factory=CMSConfig)
+    machine_config: MachineConfig | None = None
+
+    @property
+    def label(self) -> str:
+        return self.name or f"tenant{self.tenant_id}"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Supervisor dials.
+
+    Scheduling is cooperative and single-threaded: each round gives
+    every runnable tenant one slice of ``slice_guest_instructions``
+    guest instructions.  The watchdog has two deadlines per slice — a
+    guest-clock one (``watchdog_stall_slices`` consecutive slices
+    retiring zero instructions means the tenant is stuck in rollback
+    ping-pong or a dead dispatcher) and a host-wall one
+    (``slice_wall_budget`` seconds; 0.0 disables it so benchmark and CI
+    runs stay counter-deterministic).  A wall overrun preempts the
+    slice between dispatches via the existing rollback machinery — a
+    single dispatch is already fuel-bounded — and counts a strike;
+    ``watchdog_strike_limit`` strikes quarantine the tenant like an
+    uncontained exception would.
+
+    Quarantined tenants restart from their last good warm snapshot
+    after ``restart_backoff_rounds * 2**restarts`` rounds.  More than
+    ``max_restarts`` restarts trips the circuit breaker: the tenant is
+    parked interpret-only (``park_policy="park"``) or evicted
+    (``"evict"``), and the fleet keeps serving either way.
+    """
+
+    slice_guest_instructions: int = 2_000
+    slice_wall_budget: float = 0.0  # seconds; 0 = watchdog wall check off
+    watchdog_stall_slices: int = 8
+    watchdog_strike_limit: int = 3
+    max_restarts: int = 3
+    restart_backoff_rounds: int = 2
+    max_backoff_doublings: int = 6
+    park_policy: str = "park"  # or "evict"
+    share_translations: bool = True
+    snapshot_dir: str | None = None  # per-tenant last-good snapshots
+    snapshot_interval_slices: int = 16  # healthy slices between saves
+    share_refresh_rounds: int = 4  # rounds between shared-store rescans
+    telemetry_path: str | None = None  # fleet-health JSONL records
+    max_rounds: int = 1_000_000  # hard stop (runaway-fleet backstop)

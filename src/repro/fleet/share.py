@@ -1,0 +1,229 @@
+"""Shared content-addressed translation service.
+
+One tenant's translation work warm-starts every other tenant running
+the same code.  Entries are keyed by content, not address alone: the
+key digests the entry EIP, the covered code ranges, the per-range
+sha256 digests :mod:`repro.cache.persist` already records, and the
+semantic config digest — so two tenants share an entry only when they
+run byte-identical guest code under semantically identical dials.
+
+Trust model (§3.6.2 generalized across tenants):
+
+* every stored entry carries an integrity checksum over its canonical
+  encoding; a corrupted entry fails the checksum at import time, is
+  dropped from the store, and its key is *poisoned* — negative-cached
+  globally so it is never offered again;
+* an entry that passes integrity is still only admitted into a tenant
+  after :func:`repro.cache.persist.revalidate_translation` checks its
+  recorded code digests against that tenant's current guest RAM; a
+  mismatch (stale code, tenant-local SMC) negative-caches the key for
+  that tenant;
+* imports re-register through the exact path snapshot loads use
+  (tcache insert, fine-grain protection, page recompute), so an
+  imported translation is indistinguishable from a locally made one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache import persist
+from repro.cache.tcache import digest_bytes
+
+
+@dataclass
+class SharedEntry:
+    """One published translation: payload plus integrity checksum."""
+
+    key: str
+    payload: dict  # encode_translation() output
+    checksum: str
+    config_digest: str
+    publisher: int  # tenant id (provenance, for health reporting)
+
+
+@dataclass
+class ShareStats:
+    """Service-wide counters (fleet health + benchmark surface)."""
+
+    published: int = 0
+    duplicate_publishes: int = 0
+    import_attempts: int = 0
+    imported: int = 0
+    rejected_checksum: int = 0
+    rejected_revalidation: int = 0
+    negative_hits: int = 0  # import attempts short-circuited by caches
+
+    @property
+    def hit_rate(self) -> float:
+        if self.import_attempts == 0:
+            return 0.0
+        return self.imported / self.import_attempts
+
+    def as_dict(self) -> dict:
+        return {
+            "published": self.published,
+            "duplicate_publishes": self.duplicate_publishes,
+            "import_attempts": self.import_attempts,
+            "imported": self.imported,
+            "rejected_checksum": self.rejected_checksum,
+            "rejected_revalidation": self.rejected_revalidation,
+            "negative_hits": self.negative_hits,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+def entry_key(payload: dict, config_digest: str) -> str:
+    """Content address of one encoded translation."""
+    identity = {
+        "entry_eip": payload["entry_eip"],
+        "code_ranges": payload["code_ranges"],
+        "range_digests": payload["range_digests"],
+        "config_digest": config_digest,
+    }
+    return digest_bytes(persist._canonical(identity))
+
+
+class SharedTranslationService:
+    """The fleet's content-addressed translation store."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, SharedEntry] = {}
+        self._order: list[str] = []  # publish order, for import cursors
+        # Global poison set: keys whose stored bytes failed integrity.
+        self._poisoned: set[str] = set()
+        # Per-tenant revalidation failures: stale for *that* tenant's
+        # RAM (another tenant with matching code may still import).
+        self._negative: dict[int, set[str]] = {}
+        self.stats = ShareStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def poisoned_keys(self) -> frozenset[str]:
+        return frozenset(self._poisoned)
+
+    def negative_cache_size(self) -> int:
+        return len(self._poisoned) + sum(
+            len(keys) for keys in self._negative.values())
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish_translation(self, translation, config_digest: str,
+                            publisher: int) -> str | None:
+        """Encode and store one translation; returns its key."""
+        payload = persist.encode_translation(translation)
+        key = entry_key(payload, config_digest)
+        if key in self._poisoned:
+            return None  # a poisoned identity stays dead
+        if key in self._entries:
+            self.stats.duplicate_publishes += 1
+            return key
+        self._entries[key] = SharedEntry(
+            key=key,
+            payload=payload,
+            checksum=digest_bytes(persist._canonical(payload)),
+            config_digest=config_digest,
+            publisher=publisher,
+        )
+        self._order.append(key)
+        self.stats.published += 1
+        return key
+
+    def publish_from(self, system, publisher: int) -> int:
+        """Publish every resident translation of a tenant system."""
+        config_digest = persist.config_digest(system.config)
+        count = 0
+        for translation in sorted(system.tcache.translations(),
+                                  key=lambda t: t.entry_eip):
+            if not translation.valid:
+                continue
+            if self.publish_translation(translation, config_digest,
+                                        publisher) is not None:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Importing
+    # ------------------------------------------------------------------
+
+    def import_into(self, system, tenant: int, cursor: int = 0) -> tuple[int, int]:
+        """Offer every entry past ``cursor`` to ``system``.
+
+        Returns ``(imported_count, new_cursor)``.  Each candidate runs
+        the full trust pipeline: config match, integrity checksum,
+        decode, §3.6.2 revalidation against this tenant's RAM, then
+        registration.  Addresses the tenant already has a valid
+        translation for are skipped without counting an attempt.
+        """
+        config_digest = persist.config_digest(system.config)
+        negative = self._negative.setdefault(tenant, set())
+        imported = 0
+        order = self._order
+        for index in range(cursor, len(order)):
+            key = order[index]
+            entry = self._entries.get(key)
+            if entry is None or entry.config_digest != config_digest:
+                continue
+            if key in self._poisoned or key in negative:
+                self.stats.negative_hits += 1
+                continue
+            existing = system.tcache.lookup(entry.payload["entry_eip"])
+            if existing is not None and existing.valid:
+                continue
+            self.stats.import_attempts += 1
+            if not self._verify_integrity(entry):
+                continue
+            try:
+                translation = persist.decode_translation(entry.payload)
+            except (KeyError, IndexError, TypeError, ValueError):
+                self._poison(key)
+                self.stats.rejected_checksum += 1
+                continue
+            if not persist.revalidate_translation(system, translation):
+                negative.add(key)
+                self.stats.rejected_revalidation += 1
+                system.note_snapshot_drop(translation.entry_eip)
+                continue
+            system.register_loaded_translation(translation)
+            imported += 1
+            self.stats.imported += 1
+        return imported, len(order)
+
+    def _verify_integrity(self, entry: SharedEntry) -> bool:
+        actual = digest_bytes(persist._canonical(entry.payload))
+        if actual == entry.checksum:
+            return True
+        self._poison(entry.key)
+        self.stats.rejected_checksum += 1
+        return False
+
+    def _poison(self, key: str) -> None:
+        """Drop a corrupt entry and remember its key forever."""
+        self._poisoned.add(key)
+        self._entries.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Chaos hooks
+    # ------------------------------------------------------------------
+
+    def corrupt_entry(self, index: int) -> str | None:
+        """Flip bytes inside one stored payload (fleet chaos mode).
+
+        The checksum is left untouched, so the next import attempt must
+        detect the mismatch, reject the entry, and poison its key.
+        Returns the corrupted key, or None when the store is empty.
+        """
+        live = [key for key in self._order if key in self._entries]
+        if not live:
+            return None
+        key = live[index % len(live)]
+        payload = self._entries[key].payload
+        payload["code_snapshot"] = "00" * max(
+            1, len(payload.get("code_snapshot", "00")) // 2)
+        payload["range_digests"] = ["0" * 64] * len(
+            payload.get("range_digests", []))
+        return key

@@ -1,0 +1,191 @@
+"""One supervised tenant: lifecycle, watchdog state, snapshot restart.
+
+A tenant owns a full :class:`~repro.cms.system.CodeMorphingSystem` —
+its own machine, degradation ladder, auditor, and chaos stream — so
+nothing it does can reach a sibling except through the shared
+translation service, whose imports are revalidated.  Guest state is
+deliberately *not* persisted: a restart rebuilds the machine from the
+program image, warm-loads the last good snapshot (translations,
+policies, profile), and re-runs from entry — determinism then makes
+the restarted run reconverge to the same architectural outcome a solo
+run produces, which is exactly what the fleet chaos campaign checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import replace
+
+from repro.cms.system import CodeMorphingSystem, RunResult
+from repro.fleet.config import FleetConfig, TenantSpec
+from repro.machine import Machine
+
+
+class TenantState(enum.Enum):
+    RUNNING = "running"
+    QUARANTINED = "quarantined"  # awaiting backoff expiry, then restart
+    PARKED = "parked"  # breaker tripped: serving interpret-only
+    EVICTED = "evicted"  # breaker tripped with park_policy="evict"
+    DONE = "done"  # guest halted (or instruction budget exhausted)
+
+
+class Tenant:
+    """Supervisor-side state for one CMS instance."""
+
+    def __init__(self, spec: TenantSpec, fleet: FleetConfig) -> None:
+        self.spec = spec
+        self.fleet = fleet
+        self.state = TenantState.RUNNING
+        self.system: CodeMorphingSystem | None = None
+        self.entry_eip: int | None = None
+        self.result: RunResult | None = None
+        self.restarts = 0
+        self.quarantines = 0
+        self.watchdog_strikes = 0
+        self.wall_preemptions = 0
+        self.stall_slices = 0
+        self.resume_round = 0  # backoff expiry (supervisor round clock)
+        self.slices = 0
+        self.slices_since_snapshot = 0
+        self.share_cursor = 0  # shared-store publish-order position
+        self.imported_translations = 0
+        self.last_error: str | None = None
+        # Hooks the chaos layer (and tests) can use to attach device
+        # machinery to every rebuilt machine (e.g. a FaultInjector).
+        self.machine_hook = None
+
+    # ------------------------------------------------------------------
+    # Construction / restart
+    # ------------------------------------------------------------------
+
+    def snapshot_path(self) -> str | None:
+        if self.fleet.snapshot_dir is None:
+            return None
+        return os.path.join(self.fleet.snapshot_dir,
+                            f"{self.spec.label}.cms-snapshot.json")
+
+    def build(self, interp_only: bool = False) -> None:
+        """(Re)build the machine + system, warm-starting when possible."""
+        config = replace(self.spec.config,
+                         chaos_tenant=self.spec.tenant_id)
+        if interp_only:
+            config = config.interpreter_only()
+        path = self.snapshot_path()
+        if path is not None:
+            # The system warm-loads (and revalidates) at construction;
+            # saving stays supervisor-driven, not shutdown-driven.
+            config = replace(config, snapshot_path=path,
+                             snapshot_save=False)
+        machine = Machine(self.spec.machine_config)
+        self.entry_eip = machine.load_source(self.spec.source)
+        if self.machine_hook is not None:
+            self.machine_hook(machine)
+        self.system = CodeMorphingSystem(machine, config)
+        self.system.state.eip = self.entry_eip
+        self.slices_since_snapshot = 0
+        self.share_cursor = 0  # rescan the shared store from the top
+
+    def save_good_snapshot(self) -> bool:
+        """Persist the current (healthy) translation state."""
+        path = self.snapshot_path()
+        if path is None or self.system is None:
+            return False
+        self.system.save_snapshot(path)
+        self.slices_since_snapshot = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # Scheduling predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (TenantState.RUNNING, TenantState.PARKED)
+
+    @property
+    def live(self) -> bool:
+        """Still needs supervisor attention (scheduling or restart)."""
+        return self.state in (TenantState.RUNNING, TenantState.PARKED,
+                              TenantState.QUARANTINED)
+
+    def instructions_remaining(self) -> int:
+        if self.system is None:
+            return self.spec.max_instructions
+        return max(0, self.spec.max_instructions
+                   - self.system.machine.instructions_retired)
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions (driven by the supervisor)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, round_clock: int, reason: str) -> None:
+        """Contain a tenant-level failure: park the instance, schedule a
+        backed-off restart, and drop the (possibly poisoned) system."""
+        self.quarantines += 1
+        self.last_error = reason
+        self.system = None  # never reuse a state that just failed
+        doublings = min(self.restarts, self.fleet.max_backoff_doublings)
+        backoff = self.fleet.restart_backoff_rounds * (2 ** doublings)
+        self.resume_round = round_clock + backoff
+        self.state = TenantState.QUARANTINED
+        self.watchdog_strikes = 0
+        self.stall_slices = 0
+
+    def try_restart(self, round_clock: int) -> bool:
+        """Restart after backoff — or trip the circuit breaker."""
+        if round_clock < self.resume_round:
+            return False
+        if self.restarts >= self.fleet.max_restarts:
+            self.trip_breaker()
+            return self.state is TenantState.PARKED
+        self.restarts += 1
+        self.build()
+        self.state = TenantState.RUNNING
+        return True
+
+    def trip_breaker(self) -> None:
+        """Restart budget exhausted: park interpret-only, or evict."""
+        if self.fleet.park_policy == "evict":
+            self.state = TenantState.EVICTED
+            self.system = None
+            return
+        self.build(interp_only=True)
+        self.state = TenantState.PARKED
+
+    def finish(self) -> None:
+        """Guest halted (or budget exhausted): close out the run."""
+        if self.system is not None:
+            self.result = self.system.finalize_run()
+        self.state = TenantState.DONE
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Per-tenant health row (fleet aggregation + telemetry)."""
+        out = {
+            "tenant": self.spec.tenant_id,
+            "name": self.spec.label,
+            "state": self.state.value,
+            "restarts": self.restarts,
+            "quarantines": self.quarantines,
+            "watchdog_strikes": self.watchdog_strikes,
+            "wall_preemptions": self.wall_preemptions,
+            "slices": self.slices,
+            "imported_translations": self.imported_translations,
+            "last_error": self.last_error,
+        }
+        system = self.system
+        if system is not None:
+            out["guest_instructions"] = \
+                system.machine.instructions_retired
+            out["tier_census"] = system.degrade.tier_census()
+            out["contained_errors"] = system.stats.contained_errors
+            out["audit_repairs"] = system.stats.audit_repairs
+        elif self.result is not None:
+            out["guest_instructions"] = self.result.guest_instructions
+            out["contained_errors"] = self.result.stats.contained_errors
+            out["audit_repairs"] = self.result.stats.audit_repairs
+        return out

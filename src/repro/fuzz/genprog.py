@@ -270,8 +270,16 @@ _BLOCK_WEIGHTS = tuple(w for _, w in _BLOCKS)
 
 
 def generate(seed: int, inject: bool = False,
-             min_blocks: int = 4, max_blocks: int = 18) -> FuzzProgram:
-    """Generate one deterministic program (and schedule) from ``seed``."""
+             min_blocks: int = 4, max_blocks: int = 18,
+             tenant: int = 0) -> FuzzProgram:
+    """Generate one deterministic program (and schedule) from ``seed``.
+
+    ``tenant`` salts only the *injection schedule* (asynchronous
+    events), never the program body: fleet tenants run byte-identical
+    guest code but see independently timed interrupts/DMA, so
+    same-seed tenants cannot fault in lockstep.  Tenant 0 keeps the
+    historical stream (existing campaigns replay unchanged).
+    """
     rng = random.Random(seed)
     count = rng.randint(min_blocks, max_blocks)
     blocks = tuple(
@@ -281,7 +289,13 @@ def generate(seed: int, inject: bool = False,
     iterations = rng.randint(8, 32)
     reg_seeds = tuple((reg, rng.randint(0, 0xFFFFFFFF))
                       for reg in BODY_REGS)
-    plan = _generate_plan(rng) if inject else None
+    plan = None
+    if inject:
+        if tenant != 0:
+            from repro.cms.degrade import derive_seed
+
+            rng = random.Random(derive_seed(seed, tenant, "inject"))
+        plan = _generate_plan(rng)
     return FuzzProgram(seed=seed, body_blocks=blocks, iterations=iterations,
                        reg_seeds=reg_seeds, plan=plan)
 

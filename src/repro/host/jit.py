@@ -34,6 +34,8 @@ checks this over the whole dial matrix (``fuzz/oracle.py``).
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.host.atoms import AluOp, AtomKind
 from repro.host.cpu import ExitInfo, ExitKind
 from repro.host.faults import HostFault, HostFaultError, HostFaultKind
@@ -406,7 +408,18 @@ class _Codegen:
         return "\n".join([header, *self.lines, ""]), self.consts
 
 
-def compile_translation(translation, cpu):
+# Process-wide cache of compiled template code objects, keyed by the
+# sha256 of the generated source.  The source embeds everything the
+# code object depends on (molecule structure, folded constants,
+# ``ram_limit``/``sb_capacity``); all per-CPU state is late-bound via
+# ``_make``, so one code object serves every tenant whose translation
+# lowers to the same text.  ``compile`` dominates template cost, so a
+# fleet of tenants running the same guest code pays it once.
+_CODE_CACHE: dict[str, object] = {}
+_CODE_CACHE_MAX = 4096
+
+
+def compile_translation(translation, cpu, stats=None):
     """Lower one translation; returns the template function or None.
 
     ``None`` means the translation stays on the simulated-VLIW path —
@@ -414,8 +427,17 @@ def compile_translation(translation, cpu):
     """
     try:
         source, consts = _Codegen(translation, cpu).generate()
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        code = _CODE_CACHE.get(key)
+        if code is None:
+            code = compile(source, "<jit-template>", "exec")
+            if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+                _CODE_CACHE.clear()
+            _CODE_CACHE[key] = code
+        elif stats is not None:
+            stats.jit_code_cache_hits += 1
         env: dict = {}
-        exec(source, env)  # noqa: S102 — our own generated source
+        exec(code, env)  # noqa: S102 — our own generated source
         return env["_make"](**consts)
     except Exception:
         return None
@@ -450,10 +472,10 @@ class TemplateJIT:
             return None
         phases = self.phases
         if phases is None:
-            fn = compile_translation(translation, self.cpu)
+            fn = compile_translation(translation, self.cpu, self.stats)
         else:
             with phases.phase("jit-compile"):
-                fn = compile_translation(translation, self.cpu)
+                fn = compile_translation(translation, self.cpu, self.stats)
         stats = self.stats
         if fn is None:
             self._uncompilable.add(translation.id)

@@ -94,6 +94,32 @@ class HistogramMetric:
                 return index
         return len(self.bounds)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the landing bucket (Prometheus
+        ``histogram_quantile`` style); the overflow bucket reports the
+        largest value actually seen, so an estimate never exceeds
+        reality.  Returns 0.0 for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative < rank or bucket_count == 0:
+                continue
+            if index >= len(self.bounds):
+                return float(self.max_seen)
+            hi = self.bounds[index]
+            lo = self.bounds[index - 1] if index > 0 else 0
+            fraction = 1.0 - (cumulative - rank) / bucket_count
+            return lo + (hi - lo) * fraction
+        return float(self.max_seen)
+
     def reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
         self.count = 0

@@ -11,8 +11,13 @@ Subcommands::
     repro-cms top <workload>             # per-region hot-spot profile
     repro-cms health [workloads...]      # self-audit + health report
                                          # (also installed as repro-health)
+    repro-cms health --fleet             # aggregate multi-tenant health
     repro-cms snapshot <action> <path>   # save/load/inspect warm-start
                                          # snapshots (PR 5)
+    repro-cms fleet run [workloads...]   # serve N workloads under the
+                                         # fault-isolated fleet supervisor
+    repro-cms fleet campaign             # seeded fleet chaos campaign
+                                         # (kill / corrupt / storm modes)
 
 ``top`` and ``health`` also accept ``--session PATH`` (a JSONL
 telemetry file) or ``--snapshot PATH`` (a warm-start snapshot) to
@@ -382,8 +387,85 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
 DEFAULT_HEALTH_WORKLOADS = ("dos_boot", "quake_demo2", "alias_stress")
 
 
+def _fleet_specs(names: list[str], config: CMSConfig) -> list:
+    """Build one TenantSpec per named workload."""
+    from repro.fleet import TenantSpec
+
+    specs = []
+    for tenant_id, name in enumerate(names):
+        workload = get_workload(name)
+        specs.append(TenantSpec(
+            tenant_id=tenant_id,
+            source=workload.source,
+            name=workload.name,
+            max_instructions=workload.max_instructions,
+            config=config,
+            machine_config=workload.machine_config,
+        ))
+    return specs
+
+
+def _fleet_health_offline(args: argparse.Namespace) -> int:
+    """`repro-cms health --fleet --session PATH`: report from the
+    fleet-health records a supervisor run streamed to JSONL."""
+    from repro.obs.telemetry import read_jsonl
+
+    try:
+        records = read_jsonl(args.session)
+    except OSError as error:
+        print(f"error: cannot read session: {error}", file=sys.stderr)
+        return 2
+    reports = [r for r in records if r.get("kind") == "fleet-health"]
+    if not reports:
+        return _no_obs_data(f"session {args.session} (no fleet-health "
+                            f"records)")
+    latest = reports[-1]
+    healthy = bool(latest.get("healthy"))
+    print(f"session   : {args.session} "
+          f"({len(reports)} fleet-health records, showing latest)")
+    print(f"status               "
+          f"{'HEALTHY' if healthy else 'DEGRADED'}")
+    print(f"rounds               {latest.get('rounds', 0):>8}")
+    share = latest.get("share", {}) or {}
+    print(f"shared cache         {share.get('published', 0):>8} "
+          f"published, {share.get('imported', 0)} imported "
+          f"(hit rate {share.get('hit_rate', 0.0):.2f})")
+    print(f"negative cache       {latest.get('negative_cache', 0):>8}")
+    print(f"uncontained errors   {latest.get('uncontained', 0):>8}")
+    for row in latest.get("tenants", []):
+        print(f"  tenant {row.get('tenant')} ({row.get('name')}): "
+              f"{row.get('state')} restarts={row.get('restarts', 0)} "
+              f"quarantines={row.get('quarantines', 0)} "
+              f"contained={row.get('contained_errors', 0)}")
+    return 0 if healthy else 1
+
+
+def _health_fleet_live(args: argparse.Namespace,
+                       config: CMSConfig) -> int:
+    """`repro-cms health --fleet`: serve the health workloads as
+    isolated tenants and print the aggregate fleet report."""
+    from repro.fleet import FleetConfig, FleetSupervisor
+
+    names = (workload_names() if args.all
+             else (args.workloads or list(DEFAULT_HEALTH_WORKLOADS)))
+    config = replace(config, obs_jsonl_path=None)
+    fleet = FleetConfig(
+        slice_guest_instructions=20_000,
+        telemetry_path=getattr(args, "obs_jsonl", None),
+    )
+    supervisor = FleetSupervisor(_fleet_specs(names, config), fleet)
+    result = supervisor.run()
+    print(result.health.describe())
+    print()
+    print(f"aggregate guest instructions: "
+          f"{result.total_guest_instructions}")
+    return 0 if result.health.healthy else 1
+
+
 def _health_offline(args: argparse.Namespace) -> int:
     """`repro-cms health` against a saved session or snapshot file."""
+    if getattr(args, "fleet", False) and getattr(args, "session", None):
+        return _fleet_health_offline(args)
     if getattr(args, "snapshot", None):
         from repro.cache.persist import SnapshotError, read_snapshot_file
 
@@ -437,6 +519,8 @@ def cmd_health(args: argparse.Namespace) -> int:
     if getattr(args, "session", None) or getattr(args, "snapshot", None):
         return _health_offline(args)
     config = config_from_args(args)
+    if getattr(args, "fleet", False):
+        return _health_fleet_live(args, config)
     overrides = {}
     if args.chaos_rate > 0.0:
         overrides["chaos_rate"] = args.chaos_rate
@@ -501,10 +585,134 @@ def add_health_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--snapshot", metavar="PATH", default=None,
                         help="report from a warm-start snapshot file "
                              "instead of running")
+    parser.add_argument("--fleet", action="store_true",
+                        help="serve the workloads as isolated tenants "
+                             "under the fleet supervisor and report "
+                             "aggregate fleet health (with --session: "
+                             "read fleet-health telemetry records)")
 
 
 def health_main(argv: list[str] | None = None) -> int:
     return cmd_health(build_health_parser().parse_args(argv))
+
+
+# ----------------------------------------------------------------------
+# repro-cms fleet — multi-tenant serving and the fleet chaos campaign
+# ----------------------------------------------------------------------
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    if args.action == "campaign":
+        return _fleet_campaign(args)
+    return _fleet_run(args)
+
+
+def _fleet_run(args: argparse.Namespace) -> int:
+    """Serve named workloads as fault-isolated tenants to completion."""
+    from repro.fleet import FleetConfig, FleetSupervisor
+
+    names = args.workloads or list(DEFAULT_HEALTH_WORKLOADS)
+    # The supervisor owns the telemetry file; tenants keep their
+    # in-memory metrics but never write to the shared JSONL.
+    config = replace(config_from_args(args), obs_jsonl_path=None)
+    fleet = FleetConfig(
+        slice_guest_instructions=args.slice,
+        slice_wall_budget=args.wall_budget,
+        snapshot_dir=args.snapshot_dir,
+        share_translations=not args.no_share,
+        telemetry_path=args.obs_jsonl,
+        park_policy=args.park_policy,
+    )
+    supervisor = FleetSupervisor(_fleet_specs(names, config), fleet)
+    result = supervisor.run()
+    print(result.health.describe())
+    print()
+    print(f"rounds               {result.rounds:>8}")
+    print(f"guest instructions   {result.total_guest_instructions:>8}")
+    print(f"wall seconds         {result.wall_seconds:>8.3f}  "
+          f"(aggregate {result.aggregate_ips():,.0f} IPS)")
+    print(f"slice p50/p99        {result.latency_us.quantile(0.5):>8.0f}"
+          f" / {result.latency_us.quantile(0.99):.0f} µs")
+    return 0 if result.health.healthy else 1
+
+
+def _fleet_campaign(args: argparse.Namespace) -> int:
+    """The CI fleet lane: seeded kill/corrupt/storm trials, every
+    tenant differentially checked against its solo interpreter run."""
+    from repro.fleet.chaos import run_fleet_campaign
+
+    progress = [0]
+
+    def on_trial(report):
+        progress[0] += 1
+        if not args.quiet and progress[0] % 10 == 0:
+            print(f"... trial {progress[0]} (seed {report.seed}, "
+                  f"mode {report.mode})")
+
+    result = run_fleet_campaign(
+        trials=args.trials, seed=args.seed, tenants=args.tenants,
+        max_instructions=args.max_instructions,
+        inject_every=args.inject_every, on_trial=on_trial,
+    )
+    print(f"fleet campaign: {result.trials} trials "
+          f"({result.kills} kills, {result.corruptions} corruptions, "
+          f"{result.storms} storms; {result.injected_trials} with "
+          f"device-fault injection)")
+    print(f"  {result.restarts} snapshot restarts, "
+          f"{result.poisoned} poisoned entries, "
+          f"{result.imported} cross-tenant imports")
+    print(f"  {len(result.contaminations)} cross-tenant contaminations, "
+          f"{result.uncontained} uncontained exceptions")
+    if args.obs_jsonl:
+        from repro.obs import TelemetrySink
+
+        with TelemetrySink(args.obs_jsonl, source="fleet") as sink:
+            sink.emit("fleet-campaign", {
+                "trials": result.trials,
+                "seed": args.seed,
+                "kills": result.kills,
+                "corruptions": result.corruptions,
+                "storms": result.storms,
+                "restarts": result.restarts,
+                "poisoned": result.poisoned,
+                "imported": result.imported,
+                "contaminations": len(result.contaminations),
+                "uncontained": result.uncontained,
+            })
+    for contamination in result.contaminations:
+        print(f"  CONTAMINATION: {contamination}")
+    return 0 if result.ok else 1
+
+
+def add_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("action", choices=("run", "campaign"))
+    parser.add_argument("workloads", nargs="*",
+                        help="workload names for `run` (default: "
+                             f"{', '.join(DEFAULT_HEALTH_WORKLOADS)})")
+    parser.add_argument("--slice", type=int, default=20_000,
+                        help="guest instructions per tenant slice")
+    parser.add_argument("--wall-budget", type=float, default=0.0,
+                        help="host-wall seconds per slice before the "
+                             "watchdog preempts (0 disables)")
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="directory for per-tenant last-good "
+                             "warm snapshots")
+    parser.add_argument("--no-share", action="store_true",
+                        help="disable the shared translation service")
+    parser.add_argument("--park-policy", choices=("park", "evict"),
+                        default="park")
+    parser.add_argument("--trials", type=int, default=100,
+                        help="campaign trials (default 100)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="tenants per campaign trial")
+    parser.add_argument("--max-instructions", type=int, default=400_000)
+    parser.add_argument("--inject-every", type=int, default=4,
+                        help="every Nth trial adds asynchronous "
+                             "interrupt/DMA injection (0 disables)")
+    parser.add_argument("--quiet", action="store_true")
+    # --obs-jsonl comes from add_config_flags; the fleet run routes it
+    # to the supervisor's sink rather than per-tenant sinks.
 
 
 # ----------------------------------------------------------------------
@@ -713,6 +921,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_health_flags(health_parser)
     add_config_flags(health_parser)
     health_parser.set_defaults(func=cmd_health)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="multi-tenant serving under the fault-isolated "
+                      "fleet supervisor / seeded fleet chaos campaign")
+    add_fleet_flags(fleet_parser)
+    add_config_flags(fleet_parser)
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     return parser
 

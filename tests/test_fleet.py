@@ -1,0 +1,630 @@
+"""Fleet supervisor: isolation, watchdogs, restart, shared translations.
+
+The fleet layer's contract is the paper's containment story scaled up:
+any failure — injected exception, hung dispatch, corrupted shared
+cache entry, chaos storm — is confined to one tenant, and that
+tenant's recovery (snapshot restart, backoff, circuit breaker) never
+changes what any guest observes.  Every test here that runs guests
+checks architectural outcomes against an unsupervised solo run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.cache import persist
+from repro.cms.config import CMSConfig
+from repro.cms.degrade import ChaosMonkey, derive_seed
+from repro.cms.system import CodeMorphingSystem
+from repro.fleet import (
+    FleetConfig,
+    FleetSupervisor,
+    SharedTranslationService,
+    TenantSpec,
+    TenantState,
+)
+from repro.fleet.chaos import run_fleet_campaign, run_fleet_trial
+from repro.fuzz.genprog import generate
+from repro.machine import Machine
+from repro.tools.cli import main
+from repro.workloads.builder import wrap
+
+# Eager thresholds so tiny programs exercise translated (and shared)
+# paths, as the fuzz oracle does.
+FAST = CMSConfig(translation_threshold=4, fault_threshold=2)
+
+# A two-procedure program: enough distinct regions to translate, plus
+# a loop so every region crosses the threshold.
+PROGRAM = wrap("""
+    mov edi, 12
+fl_outer:
+    call fl_one
+    call fl_two
+    dec edi
+    jnz fl_outer
+    jmp fl_done
+fl_one:
+    mov eax, 0x1234
+    imul eax, 0x9E3B
+    xor esi, eax
+    ret
+fl_two:
+    mov eax, 0x5A5A
+    add eax, 77
+    xor esi, eax
+    add esi, 3
+    ret
+fl_done:
+""")
+
+
+def spec(tenant_id: int, source: str = PROGRAM, *,
+         config: CMSConfig = FAST,
+         max_instructions: int = 100_000) -> TenantSpec:
+    return TenantSpec(tenant_id=tenant_id, source=source,
+                      name=f"t{tenant_id}",
+                      max_instructions=max_instructions, config=config)
+
+
+def solo_outcome(source: str = PROGRAM, config: CMSConfig = FAST,
+                 max_instructions: int = 100_000):
+    """Unsupervised single-system reference run."""
+    machine = Machine()
+    entry = machine.load_source(source)
+    system = CodeMorphingSystem(machine, config)
+    result = system.run(entry, max_instructions=max_instructions)
+    return result, system
+
+
+def small_fleet(**overrides) -> FleetConfig:
+    defaults = dict(
+        slice_guest_instructions=32,
+        slice_wall_budget=0.0,
+        snapshot_interval_slices=2,
+        share_refresh_rounds=1,
+        restart_backoff_rounds=1,
+        max_restarts=3,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestScheduling:
+    def test_two_tenants_complete_with_identical_outputs(self, tmp_path):
+        ref, _ = solo_outcome()
+        supervisor = FleetSupervisor(
+            [spec(0), spec(1)], small_fleet(snapshot_dir=str(tmp_path)))
+        result = supervisor.run()
+        assert result.health.healthy
+        for tenant in supervisor.tenants:
+            assert tenant.state is TenantState.DONE
+            assert tenant.result.halted
+            assert tenant.system.machine.console.output == \
+                ref.console_output
+            assert tenant.result.guest_instructions == \
+                ref.guest_instructions
+
+    def test_round_robin_interleaves(self):
+        supervisor = FleetSupervisor([spec(0), spec(1)], small_fleet())
+        result = supervisor.run()
+        # Both tenants got multiple slices and neither monopolized the
+        # scheduler: the round count is far below the slice total.
+        assert all(t.slices > 2 for t in supervisor.tenants)
+        assert result.rounds < sum(t.slices for t in supervisor.tenants)
+
+    def test_histograms_observe_every_slice(self):
+        supervisor = FleetSupervisor([spec(0)], small_fleet())
+        supervisor.run()
+        assert supervisor.slice_instructions.count == \
+            supervisor.tenants[0].slices
+        assert supervisor.latency_us.count == supervisor.tenants[0].slices
+
+
+class TestWatchdog:
+    def test_stalled_tenant_is_quarantined(self):
+        fleet = small_fleet(watchdog_stall_slices=3,
+                            watchdog_strike_limit=1, max_restarts=0,
+                            park_policy="evict")
+        supervisor = FleetSupervisor([spec(0)], fleet)
+        # Replace the dispatcher with one that never retires anything:
+        # the guest-clock watchdog must strike and quarantine.
+        tenant = supervisor.tenants[0]
+        tenant.build()
+        tenant.system.run_slice = lambda budget, should_preempt=None: True
+        for _ in range(4):
+            supervisor.step_round()
+        assert tenant.state in (TenantState.QUARANTINED,
+                                TenantState.EVICTED)
+        assert "watchdog" in (tenant.last_error or "")
+
+    def test_wall_deadline_preempts_but_run_completes(self):
+        # A 1-picosecond budget preempts after the first dispatch of
+        # every slice; forward progress is still guaranteed, so the
+        # guest finishes and the preemptions are just strikes.
+        fleet = small_fleet(slice_wall_budget=1e-12,
+                            watchdog_strike_limit=10 ** 6)
+        ref, _ = solo_outcome()
+        supervisor = FleetSupervisor([spec(0)], fleet)
+        result = supervisor.run()
+        tenant = supervisor.tenants[0]
+        assert tenant.state is TenantState.DONE
+        assert tenant.wall_preemptions > 0
+        assert tenant.system.machine.console.output == ref.console_output
+        assert result.health.healthy
+
+    def test_zero_wall_budget_disables_clock_checks(self):
+        supervisor = FleetSupervisor([spec(0)], small_fleet())
+        supervisor.run()
+        assert supervisor.tenants[0].wall_preemptions == 0
+
+
+class TestQuarantineAndRestart:
+    def test_single_kill_restarts_and_reconverges(self, tmp_path):
+        ref, _ = solo_outcome()
+        fleet = small_fleet(snapshot_dir=str(tmp_path))
+        supervisor = FleetSupervisor([spec(0), spec(1)], fleet)
+        fired = []
+
+        def kill_once(sup, tenant, round_clock):
+            if tenant.spec.tenant_id == 0 and round_clock >= 4 and \
+                    not fired:
+                fired.append(round_clock)
+                raise RuntimeError("injected tenant failure")
+
+        supervisor.before_slice = kill_once
+        result = supervisor.run()
+        victim, sibling = supervisor.tenants
+        assert fired, "kill never fired"
+        assert victim.restarts == 1
+        assert victim.quarantines == 1
+        # Backoff was respected: the restart round came after the
+        # quarantine round plus the (first-restart) backoff.
+        assert victim.state is TenantState.DONE
+        # The restarted tenant warm-loaded its last good snapshot.
+        assert victim.system.stats.snapshot_translations_loaded > 0
+        # Reconvergence: both tenants match the unsupervised run.
+        for tenant in (victim, sibling):
+            assert tenant.system.machine.console.output == \
+                ref.console_output
+            assert tenant.result.guest_instructions == \
+                ref.guest_instructions
+        assert sibling.restarts == 0  # isolation: sibling untouched
+        assert result.health.uncontained == 0
+
+    def test_crash_loop_trips_breaker_to_parked(self, tmp_path):
+        fleet = small_fleet(snapshot_dir=str(tmp_path), max_restarts=2)
+        supervisor = FleetSupervisor([spec(0), spec(1)], fleet)
+
+        def always_kill(sup, tenant, round_clock):
+            if tenant.spec.tenant_id == 0 and \
+                    tenant.state is TenantState.RUNNING:
+                raise RuntimeError("persistent fault")
+
+        supervisor.before_slice = always_kill
+        supervisor.run(max_rounds=200)
+        victim, sibling = supervisor.tenants
+        assert victim.restarts == 2  # budget exhausted
+        assert victim.quarantines >= 3
+        assert sibling.state is TenantState.DONE  # fleet kept serving
+        assert supervisor.uncontained == 0
+
+    def test_backoff_doubles_per_restart(self):
+        fleet = small_fleet(restart_backoff_rounds=2, max_restarts=5)
+        tenant = FleetSupervisor([spec(0)], fleet).tenants[0]
+        waits = []
+        round_clock = 0
+        for _ in range(3):
+            tenant.quarantine(round_clock, "test")
+            waits.append(tenant.resume_round - round_clock)
+            round_clock = tenant.resume_round
+            assert not tenant.try_restart(round_clock - 1)  # too early
+            assert tenant.try_restart(round_clock)
+        assert waits == [2, 4, 8]
+
+    def test_evict_policy_removes_tenant(self, tmp_path):
+        fleet = small_fleet(snapshot_dir=str(tmp_path), max_restarts=0,
+                            park_policy="evict")
+        supervisor = FleetSupervisor([spec(0)], fleet)
+
+        def always_kill(sup, tenant, round_clock):
+            raise RuntimeError("fatal")
+
+        supervisor.before_slice = always_kill
+        supervisor.run(max_rounds=50)
+        tenant = supervisor.tenants[0]
+        assert tenant.state is TenantState.EVICTED
+        assert tenant.system is None
+
+    def test_parked_tenant_serves_interpreter_only(self, tmp_path):
+        fleet = small_fleet(snapshot_dir=str(tmp_path), max_restarts=0)
+        supervisor = FleetSupervisor([spec(0)], fleet)
+        killed = []
+
+        def kill_running_once(sup, tenant, round_clock):
+            if not killed:
+                killed.append(round_clock)
+                raise RuntimeError("fatal once")
+
+        supervisor.before_slice = kill_running_once
+        ref, _ = solo_outcome(config=FAST.interpreter_only())
+        supervisor.run()
+        tenant = supervisor.tenants[0]
+        # Breaker tripped immediately (max_restarts=0) -> parked, and
+        # the parked interpreter-only tenant still finished the guest.
+        assert tenant.state is TenantState.DONE
+        assert tenant.restarts == 0
+        assert tenant.system.config.translation_threshold >= 2 ** 62
+        assert tenant.system.stats.translations_made == 0
+        assert tenant.system.machine.console.output == ref.console_output
+
+
+class TestSharedTranslationService:
+    def _published_store(self):
+        result, system = solo_outcome()
+        store = SharedTranslationService()
+        published = store.publish_from(system, publisher=0)
+        assert published > 0
+        return store, system, result
+
+    def test_import_registers_and_matches_solo(self):
+        store, _, ref = self._published_store()
+        machine = Machine()
+        entry = machine.load_source(PROGRAM)
+        system = CodeMorphingSystem(machine, FAST)
+        imported, cursor = store.import_into(system, tenant=1)
+        assert imported == len(store)
+        assert cursor == len(store)
+        assert store.stats.hit_rate == 1.0
+        result = system.run(entry, max_instructions=100_000)
+        assert result.console_output == ref.console_output
+        # Imported translations did the work: (almost) nothing new.
+        assert system.stats.translations_made < \
+            store.stats.imported
+
+    def test_duplicate_publish_is_counted_once(self):
+        store, system, _ = self._published_store()
+        before = len(store)
+        store.publish_from(system, publisher=0)
+        assert len(store) == before
+        assert store.stats.duplicate_publishes == before
+
+    def test_revalidation_rejects_stale_code_and_negative_caches(self):
+        store, _, _ = self._published_store()
+        machine = Machine()
+        machine.load_source(PROGRAM)
+        system = CodeMorphingSystem(machine, FAST)
+        # Mutate one byte inside every published code range: §3.6.2
+        # revalidation must reject every entry for THIS tenant.
+        starts = {entry.payload["code_ranges"][0][0]
+                  for entry in store._entries.values()}
+        for start in starts:
+            byte = machine.ram.read_bytes(start, 1)[0]
+            machine.ram.write_bytes(start, bytes([byte ^ 0xFF]))
+        imported, _ = store.import_into(system, tenant=1)
+        assert imported == 0
+        assert store.stats.rejected_revalidation == len(store)
+        assert store.negative_cache_size() == len(store)
+        # Second scan: negative cache short-circuits, no re-check.
+        rejected_before = store.stats.rejected_revalidation
+        imported, _ = store.import_into(system, tenant=1)
+        assert imported == 0
+        assert store.stats.rejected_revalidation == rejected_before
+        assert store.stats.negative_hits >= len(store)
+
+    def test_negative_cache_is_per_tenant(self):
+        store, _, ref = self._published_store()
+        stale = Machine()
+        stale.load_source(PROGRAM)
+        stale_system = CodeMorphingSystem(stale, FAST)
+        start, _ = next(iter(store._entries.values())) \
+            .payload["code_ranges"][0]
+        byte = stale.ram.read_bytes(start, 1)[0]
+        stale.ram.write_bytes(start, bytes([byte ^ 0xFF]))
+        store.import_into(stale_system, tenant=1)
+        # A different tenant with pristine RAM still imports fine.
+        clean = Machine()
+        clean.load_source(PROGRAM)
+        clean_system = CodeMorphingSystem(clean, FAST)
+        imported, _ = store.import_into(clean_system, tenant=2)
+        assert imported == len(store)
+
+    def test_corrupted_entry_is_rejected_poisoned_and_never_offered(self):
+        store, _, _ = self._published_store()
+        key = store.corrupt_entry(0)
+        assert key is not None
+        total = len(store)
+        machine = Machine()
+        machine.load_source(PROGRAM)
+        system = CodeMorphingSystem(machine, FAST)
+        imported, _ = store.import_into(system, tenant=1)
+        # Integrity checksum caught the corruption before decode.
+        assert store.stats.rejected_checksum == 1
+        assert key in store.poisoned_keys
+        assert imported == total - 1
+        assert len(store) == total - 1  # dropped from the store
+        # The poisoned identity can never be re-published or offered.
+        fresh = Machine()
+        fresh.load_source(PROGRAM)
+        fresh_system = CodeMorphingSystem(fresh, FAST)
+        attempts_before = store.stats.import_attempts
+        store.import_into(fresh_system, tenant=2)
+        assert store.stats.rejected_checksum == 1  # no second rejection
+        assert store.stats.import_attempts == \
+            attempts_before + total - 1
+
+    def test_config_digest_gates_imports(self):
+        store, _, _ = self._published_store()
+        machine = Machine()
+        machine.load_source(PROGRAM)
+        other = CodeMorphingSystem(
+            machine, replace(FAST, reorder_memory=False))
+        attempts_before = store.stats.import_attempts
+        imported, _ = store.import_into(other, tenant=3)
+        assert imported == 0
+        assert store.stats.import_attempts == attempts_before
+
+
+class TestFleetChaosCampaign:
+    def test_short_campaign_is_clean(self):
+        result = run_fleet_campaign(trials=6, seed=3)
+        assert result.ok, result.contaminations
+        assert result.trials == 6
+        assert result.uncontained == 0
+        assert result.kills + result.corruptions + result.storms == 6
+
+    def test_trial_is_deterministic(self):
+        first = run_fleet_trial(4242)
+        second = run_fleet_trial(4242)
+        assert first.mode == second.mode
+        assert first.victim == second.victim
+        assert first.restarts == second.restarts
+        assert first.imported == second.imported
+        assert first.poisoned == second.poisoned
+        assert first.ok and second.ok
+
+
+class TestChaosSeedDerivation:
+    """Satellite: per-tenant seed derivation is stable and decorrelated."""
+
+    def test_derive_seed_matches_sha256(self):
+        material = "7:3:chaos".encode("utf-8")
+        expected = int.from_bytes(
+            hashlib.sha256(material).digest()[:8], "big")
+        assert derive_seed(7, 3, "chaos") == expected
+
+    def test_derive_seed_is_stable_across_sessions(self):
+        # Pinned value: catches accidental algorithm changes, which
+        # would silently re-seed every recorded campaign.
+        assert derive_seed(0, 1, "chaos") == 0xF321BBCFAF598F23
+
+    def test_streams_decorrelate_by_tenant_and_stream(self):
+        base = derive_seed(11, 0, "chaos")
+        assert derive_seed(11, 1, "chaos") != base
+        assert derive_seed(11, 0, "inject") != base
+        assert derive_seed(12, 0, "chaos") != base
+
+    def test_chaos_monkey_tenant_zero_keeps_historical_stream(self):
+        import random as _random
+
+        legacy = _random.Random(99)
+        monkey = ChaosMonkey(0.5, 99, tenant=0)
+        assert [monkey._rng.random() for _ in range(8)] == \
+            [legacy.random() for _ in range(8)]
+
+    def test_chaos_monkey_streams_differ_between_tenants(self):
+        a = ChaosMonkey(0.5, 99, tenant=1)
+        b = ChaosMonkey(0.5, 99, tenant=2)
+        same = ChaosMonkey(0.5, 99, tenant=1)
+        stream_a = [a._rng.random() for _ in range(16)]
+        stream_b = [b._rng.random() for _ in range(16)]
+        stream_same = [same._rng.random() for _ in range(16)]
+        assert stream_a != stream_b
+        assert stream_a == stream_same
+
+    def test_genprog_tenant_salt_changes_plan_not_body(self):
+        base = generate(1234, inject=True)
+        t0 = generate(1234, inject=True, tenant=0)
+        t1 = generate(1234, inject=True, tenant=1)
+        # Tenant 0 is the historical stream: byte-identical program.
+        assert t0.source == base.source
+        # Tenant 1 draws an independent injection plan...
+        assert t1.plan.events != t0.plan.events
+        # ...but the computational body is the same program.
+        assert t1.seed == t0.seed
+
+    def test_fleet_tenants_get_salted_chaos_configs(self):
+        config = replace(FAST, chaos_rate=0.01, chaos_seed=5)
+        supervisor = FleetSupervisor(
+            [spec(0, config=config), spec(1, config=config)],
+            small_fleet())
+        for tenant in supervisor.tenants:
+            tenant.build()
+        m0 = supervisor.tenants[0].system.chaos
+        m1 = supervisor.tenants[1].system.chaos
+        assert [m0._rng.random() for _ in range(8)] != \
+            [m1._rng.random() for _ in range(8)]
+
+
+class TestSnapshotAccounting:
+    """Satellite: SnapshotLoadReport revalidation accounting."""
+
+    def _cold_save(self, path: str):
+        machine = Machine()
+        entry = machine.load_source(PROGRAM)
+        system = CodeMorphingSystem(
+            machine, replace(FAST, snapshot_path=path,
+                             snapshot_save=True))
+        result = system.run(entry, max_instructions=100_000)
+        assert result.halted
+        system.shutdown()
+        return system
+
+    def test_one_mutation_drops_exactly_one_entry(self, tmp_path):
+        path = str(tmp_path / "acct.cms-snapshot.json")
+        self._cold_save(path)
+        payload = persist.read_snapshot_file(path)
+        resident = [payload["translations"][i] for i in payload["resident"]]
+        assert len(resident) >= 2
+        # Pick a byte covered by exactly one resident translation.
+        target = None
+        for row in resident:
+            start, length = row["code_ranges"][0]
+            for addr in range(start, start + length):
+                covering = [r for r in resident if any(
+                    s <= addr < s + n for s, n in r["code_ranges"])]
+                if len(covering) == 1:
+                    target = (addr, row["entry_eip"])
+                    break
+            if target:
+                break
+        assert target is not None
+        addr, entry_eip = target
+        machine = Machine()
+        machine.load_source(PROGRAM)
+        original = machine.ram.read_bytes(addr, 1)
+        machine.ram.write_bytes(addr, bytes([original[0] ^ 0xFF]))
+        system = CodeMorphingSystem(
+            machine, replace(FAST, snapshot_path=path))
+        report = system.snapshot_report
+        assert report is not None
+        # Exactly the covering translation was dropped, nothing else.
+        assert report.dropped == 1
+        assert report.dropped_entries == [entry_eip]
+        assert report.loaded == len(resident) - 1
+        assert system.tcache.lookup(entry_eip) is None
+        # Stats counters agree with the report.
+        assert system.stats.snapshot_translations_loaded == report.loaded
+        assert system.stats.snapshot_translations_dropped == 1
+
+    def test_inspect_counters_match_load_report(self, tmp_path, capsys):
+        path = str(tmp_path / "acct.cms-snapshot.json")
+        self._cold_save(path)
+        payload = persist.read_snapshot_file(path)
+        info = persist.inspect_snapshot(path)
+        assert info["resident"] == len(payload["resident"])
+        # A clean warm load registers exactly what inspect reports.
+        machine = Machine()
+        machine.load_source(PROGRAM)
+        system = CodeMorphingSystem(
+            machine, replace(FAST, snapshot_path=path))
+        report = system.snapshot_report
+        assert report.loaded == info["resident"]
+        assert report.dropped == 0
+        assert main(["snapshot", "inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert f"({info['resident']} resident" in out
+
+
+class TestFleetCLI:
+    def test_fleet_run_healthy(self, capsys):
+        assert main(["fleet", "run", "gcc", "sc"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet status         HEALTHY" in out
+        assert "aggregate" in out
+
+    def test_fleet_campaign_smoke(self, capsys):
+        assert main(["fleet", "campaign", "--trials", "2",
+                     "--seed", "11", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cross-tenant contaminations" in out
+
+    def test_health_fleet_live(self, capsys):
+        assert main(["health", "--fleet", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+
+    def test_health_fleet_offline_roundtrip(self, tmp_path, capsys):
+        session = str(tmp_path / "fleet.jsonl")
+        assert main(["fleet", "run", "gcc",
+                     "--obs-jsonl", session]) == 0
+        capsys.readouterr()
+        assert main(["health", "--fleet", "--session", session]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-health records" in out
+        assert "HEALTHY" in out
+
+    def test_health_fleet_degrades_without_records(self, tmp_path,
+                                                   capsys):
+        """Satellite: rc 2 and a clear diagnostic, not a traceback,
+        when the session has no fleet observability records."""
+        session = tmp_path / "plain.jsonl"
+        session.write_text(json.dumps({"kind": "run-summary"}) + "\n")
+        assert main(["health", "--fleet", "--session",
+                     str(session)]) == 2
+        err = capsys.readouterr().err
+        assert "no observability data" in err
+
+    def test_health_fleet_missing_session_rc2(self, capsys):
+        assert main(["health", "--fleet", "--session",
+                     "/nonexistent/fleet.jsonl"]) == 2
+
+
+SOAK_LOOP = wrap("""
+    mov edi, 50000
+sk_outer:
+    mov ecx, 12
+sk_inner:
+    add eax, ecx
+    xor esi, eax
+    dec ecx
+    jnz sk_inner
+    dec edi
+    jnz sk_outer
+""")
+
+
+@pytest.mark.slow
+class TestSoak:
+    """Satellite: bounded soak — millions of guest cycles across a
+    mixed fleet (hot loops, SMC game, interrupt-driven boot) with
+    periodic auditor sweeps, ending with a clean aggregate report and
+    bounded telemetry growth."""
+
+    def test_soak_fleet(self, tmp_path):
+        from repro.workloads import ALL_WORKLOADS
+
+        session = str(tmp_path / "soak.jsonl")
+        audited = replace(CMSConfig(), audit_interval=512)
+        specs = [
+            TenantSpec(0, SOAK_LOOP, name="loop0",
+                       max_instructions=3_000_000, config=audited),
+            TenantSpec(1, SOAK_LOOP, name="loop1",
+                       max_instructions=3_000_000, config=audited),
+            TenantSpec(2, ALL_WORKLOADS["quake_demo2"].source,
+                       name="smc", max_instructions=3_000_000,
+                       config=audited),
+            TenantSpec(3, ALL_WORKLOADS["dos_boot"].source,
+                       name="irq", max_instructions=3_000_000,
+                       config=audited),
+        ]
+        fleet = FleetConfig(
+            slice_guest_instructions=10_000,
+            snapshot_dir=str(tmp_path / "snaps"),
+            snapshot_interval_slices=32,
+            share_refresh_rounds=8,
+            telemetry_path=session,
+        )
+        os.makedirs(fleet.snapshot_dir, exist_ok=True)
+        supervisor = FleetSupervisor(specs, fleet)
+        result = supervisor.run()
+        # ~5M guest cycles across the fleet, every tenant done.
+        assert result.total_guest_instructions >= 5_000_000
+        assert result.health.healthy, result.health.describe()
+        for tenant in supervisor.tenants:
+            assert tenant.state is TenantState.DONE
+            # Periodic auditor sweeps actually ran and repaired nothing.
+            report = tenant.system.health_report(run_audit=True)
+            assert report.audit_runs > 0
+            assert report.healthy
+        # Telemetry growth is bounded by the sink's rotation budget.
+        sink = supervisor.telemetry
+        total = sum(
+            os.path.getsize(os.path.join(os.path.dirname(session), f))
+            for f in os.listdir(os.path.dirname(session))
+            if f.startswith(os.path.basename(session)))
+        assert total <= sink.max_bytes * (sink.max_files + 1)

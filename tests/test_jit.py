@@ -184,7 +184,7 @@ class TestInvalidation:
 class TestFallbacks:
     def test_uncompilable_translation_falls_back_to_vliw(self, monkeypatch):
         monkeypatch.setattr(jit_module, "compile_translation",
-                            lambda translation, cpu: None)
+                            lambda translation, cpu, stats=None: None)
         on_system, on_result = run_cms(HOT_LOOP, FAST)
         off_system, off_result = run_cms(HOT_LOOP, NO_JIT)
         assert on_result.halted
