@@ -1,0 +1,86 @@
+"""Adversarial scenario matrix — the CI ``scenarios`` lane's driver.
+
+Runs every scenario class differentially (interpreter oracle vs full
+CMS, see ``repro.scenarios.runner``) at a fixed instruction budget and
+writes the per-scenario pass/perf records to ``BENCH_scenarios.json``.
+Any architectural divergence exits nonzero, failing the lane before
+the baseline compare even runs.
+
+Under a fixed budget every ``counters`` and ``dispatch`` value in the
+report is a pure function of the guest programs and the CMS policies,
+so ``benchmarks/compare.py`` gates them *exactly* against the
+committed ``benchmarks/baselines/BENCH_scenarios.json``; the
+``timing`` section (wall seconds, speedup) is host noise and rides
+under ``--timing-advisory``.
+
+``REPRO_SCENARIO_BUDGET=<n>`` overrides the sizing budget (the
+baseline is committed at the default, 120000; compare refuses reports
+taken at a different budget).  ``REPRO_SCENARIO_SEED`` likewise.
+
+Stdlib + repo only, so the lane needs no package install.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPORT_PATH = "BENCH_scenarios.json"
+DEFAULT_BUDGET = 120_000
+DEFAULT_SEED = 0
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SystemExit(f"{name} must be an integer, got {raw!r}")
+    if value < minimum:
+        raise SystemExit(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def main() -> int:
+    from repro.scenarios.runner import all_passed, run_matrix
+
+    budget = _env_int("REPRO_SCENARIO_BUDGET", DEFAULT_BUDGET)
+    seed = _env_int("REPRO_SCENARIO_SEED", DEFAULT_SEED, minimum=0)
+    report = run_matrix(budget, seed)
+
+    print(f"scenario matrix @ budget {budget}, seed {seed}")
+    print(f"{'scenario':<14} {'verdict':<8} {'instructions':>12} "
+          f"{'molecules':>11} {'smc-inv':>8} {'irqs':>6} "
+          f"{'p50/p99 instr':>14} {'speedup':>8}")
+    for name, record in report["scenarios"].items():
+        counters = record["counters"]
+        dispatch = record["dispatch"]
+        print(f"{name:<14} {'PASS' if record['pass'] else 'FAIL':<8} "
+              f"{counters['guest_instructions']:>12} "
+              f"{counters['total_molecules']:>11} "
+              f"{counters['smc_invalidations']:>8} "
+              f"{counters['interrupts_delivered']:>6} "
+              f"{dispatch['p50_instructions']:>6.1f}/"
+              f"{dispatch['p99_instructions']:<7.1f} "
+              f"{record['timing']['speedup']:>7.2f}x")
+        for diff in record["diffs"]:
+            print(f"    DIFF {diff}")
+
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {REPORT_PATH}")
+
+    if not all_passed(report):
+        print("SCENARIO DIVERGENCE", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__) or ".",
+                                    os.pardir, "src"))
+    sys.exit(main())

@@ -83,7 +83,8 @@ def compare(
             "INCOMPARABLE budget: baseline "
             f"{base_flat.get('budget')!r} vs current "
             f"{cur_flat.get('budget')!r} (regenerate the baseline with "
-            "the gate's REPRO_WALLCLOCK_BUDGET)"
+            "the gate's budget env: REPRO_WALLCLOCK_BUDGET or "
+            "REPRO_SCENARIO_BUDGET)"
         )
         return INCOMPARABLE, findings
 

@@ -13,6 +13,7 @@ from repro.devices.console import Console
 from repro.devices.disk import Disk
 from repro.devices.dma import DMAController
 from repro.devices.framebuffer import Framebuffer
+from repro.devices.nic import NetworkInterface
 from repro.devices.pic import InterruptController
 from repro.devices.port_bus import PortBus
 from repro.devices.timer import Timer
@@ -23,6 +24,7 @@ __all__ = [
     "DMAController",
     "Framebuffer",
     "InterruptController",
+    "NetworkInterface",
     "PortBus",
     "Timer",
 ]

@@ -85,12 +85,22 @@ class HostCPU:
         # exits are suppressed in that window so a rollback can never
         # replay the device operation.
         self._io_uncommitted = False
+        # The translation currently being executed (chains update it).
+        # The SMC manager consults this from the inline fault service:
+        # arming a *running* translation's revalidation prologue would
+        # drop its protection mid-execution, letting a later store in
+        # the same body silently rewrite code the body then executes.
+        self.current_translation = None
 
     # ------------------------------------------------------------------
     # Commit / rollback (§3.1)
     # ------------------------------------------------------------------
 
     def commit(self, instr_count: int = 0) -> None:
+        current = self.current_translation
+        if current is not None and current.prologue_armed and \
+                not self._io_uncommitted:
+            self._check_armed_writes(current)
         self.regs.commit()
         self.store_buffer.drain(self.machine.bus)
         self.alias.clear()
@@ -98,6 +108,30 @@ class HostCPU:
         self.commits += 1
         if instr_count:
             self.machine.tick(instr_count)
+
+    def _check_armed_writes(self, translation) -> None:
+        """Catch an armed translation's body rewriting its own code.
+
+        While a self-revalidation prologue is armed the translation's
+        pages run unprotected (§3.6.2), so a store in its own body can
+        target its code bytes without faulting — and the prologue only
+        re-verifies on the *next* entry, not mid-body.  Publishing such
+        a store and then continuing to execute the now-stale body would
+        diverge from the guest semantics.  Detecting it here, before
+        any state is committed, makes the outcome exact: the rollback
+        discards the store, memory still matches the translation's
+        snapshot, and recovery interprets through the modifying store
+        precisely (the dispatcher's self-check case (a)).
+        """
+        for entry in self.store_buffer._entries:
+            if not entry.is_io and \
+                    translation.overlaps(entry.paddr, entry.size):
+                raise HostFaultError(HostFault(
+                    kind=HostFaultKind.SELF_CHECK,
+                    guest_addr=translation.entry_eip,
+                    paddr=entry.paddr,
+                    detail="armed-body code write",
+                ))
 
     def rollback(self) -> None:
         self.regs.rollback()
@@ -129,7 +163,20 @@ class HostCPU:
         info.translations_entered.append(current)
         start_molecules = self.molecules_executed
         pending_ok = self._interrupt_pending
+        self.current_translation = current
 
+        try:
+            self._run_loop(info, current, pc, molecules, fuel,
+                           start_molecules, pending_ok)
+        finally:
+            self.current_translation = None
+
+        info.next_eip = self.regs.shadow[R_EIP]
+        info.molecules = self.molecules_executed - start_molecules
+        return info
+
+    def _run_loop(self, info, current, pc, molecules, fuel,
+                  start_molecules, pending_ok) -> None:
         while True:
             if pending_ok():
                 info.kind = ExitKind.INTERRUPT
@@ -181,15 +228,12 @@ class HostCPU:
                         info.chains_followed += 1
                         info.translations_entered.append(current)
                         current.entries += 1
+                        self.current_translation = current
                         continue
                 info.kind = ExitKind.EXITED
                 info.exit_atom = exit_atom
                 break
             pc = next_pc
-
-        info.next_eip = self.regs.shadow[R_EIP]
-        info.molecules = self.molecules_executed - start_molecules
-        return info
 
     def _interrupt_pending(self) -> bool:
         if self._io_uncommitted:

@@ -513,7 +513,21 @@ class TemplateJIT:
             # sub's first entry re-names ``current``; keep it once.
             info.translations_entered.extend(sub.translations_entered[1:])
 
+        try:
+            self._run_loop(info, current, fuel, start, pending, shadow,
+                           merge)
+        finally:
+            cpu.current_translation = None
+
+        info.next_eip = shadow[R_EIP]
+        info.molecules = cpu.molecules_executed - start
+        return info
+
+    def _run_loop(self, info, current, fuel, start, pending, shadow,
+                  merge) -> None:
+        cpu = self.cpu
         while True:
+            cpu.current_translation = current
             fn = current.host_code
             if fn is None:
                 fn = self.ensure_compiled(current)
@@ -563,7 +577,3 @@ class TemplateJIT:
                           fuel=fuel - (cpu.molecules_executed - start),
                           start_pc=aux))
             break
-
-        info.next_eip = shadow[R_EIP]
-        info.molecules = cpu.molecules_executed - start
-        return info

@@ -32,6 +32,22 @@ Syntax overview::
 
 Expressions support ``+``/``-`` over integers (decimal, 0x hex, 0b
 binary, character literals) and symbols, including forward references.
+
+Macros are expanded textually before parsing::
+
+    .macro bump reg, delta
+        add reg, delta
+        jnc skip_\\@
+        inc reg
+    skip_\\@:
+    .endm
+
+        bump eax, 5       ; expands the body with reg=eax, delta=5
+
+Parameters substitute on word boundaries; ``\\@`` substitutes a counter
+that is unique per expansion, so labels defined inside a macro body do
+not collide across invocations.  Macros may invoke other macros (depth
+is bounded to catch accidental recursion).
 """
 
 from __future__ import annotations
@@ -95,6 +111,8 @@ class Program:
 # --------------------------------------------------------------------------
 
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MACRO_NAME_RE = re.compile(r"^[A-Za-z_]\w*$")
+_MACRO_HEAD_RE = re.compile(r"^([A-Za-z_]\w*)\s*,?\s*(.*)$")
 _SYMDEF_RE = re.compile(r"^([A-Za-z_][\w.$]*)\s*=\s*(.+)$")
 _MEM_RE = re.compile(r"^\[(.+)\]$")
 _NUMBER_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)$")
@@ -135,6 +153,34 @@ def _split_operands(text: str) -> list[str]:
     if tail:
         operands.append(tail)
     return operands
+
+
+# --------------------------------------------------------------------------
+# Macros
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _MacroDef:
+    """A ``.macro`` body captured verbatim for later expansion."""
+
+    name: str
+    params: tuple[str, ...]
+    lines: list[str] = field(default_factory=list)
+    defined_at: int = 0
+
+
+_MACRO_DEPTH_LIMIT = 32
+
+
+def _substitute_macro(text: str, mapping: dict[str, str], index: int) -> str:
+    """Substitute macro parameters (word-bounded) and the ``\\@`` counter."""
+    if mapping:
+        pattern = re.compile(
+            r"\b(" + "|".join(re.escape(p) for p in mapping) + r")\b"
+        )
+        text = pattern.sub(lambda m: mapping[m.group(1)], text)
+    return text.replace("\\@", str(index))
 
 
 # --------------------------------------------------------------------------
@@ -371,6 +417,10 @@ class _Assembler:
         self._segments: list[Segment] = []
         self._segment_items: list[list[_Item]] = []
         self._current_items: list[_Item] = []
+        self._macros: dict[str, _MacroDef] = {}
+        self._macro_def: _MacroDef | None = None
+        self._expansions = 0
+        self._depth = 0
 
     # -- pass 1 ------------------------------------------------------------
 
@@ -378,6 +428,11 @@ class _Assembler:
         self._start_segment(0)
         for line_no, raw in enumerate(self._source.splitlines(), start=1):
             self._parse_line(raw, line_no)
+        if self._macro_def is not None:
+            raise AssemblyError(
+                f"macro {self._macro_def.name!r} is missing .endm",
+                self._macro_def.defined_at,
+            )
         self._finish_segment()
         for name, expr in self._symbol_exprs:
             self._symbols[name] = expr.evaluate(self._symbols)
@@ -420,6 +475,17 @@ class _Assembler:
 
     def _parse_line(self, raw: str, line: int) -> None:
         text = _strip_comment(raw)
+        if self._macro_def is not None:
+            # Collecting a macro body: capture lines verbatim until .endm.
+            head = text.split(None, 1)[0].lower() if text else ""
+            if head == ".endm":
+                self._macros[self._macro_def.name] = self._macro_def
+                self._macro_def = None
+            elif head == ".macro":
+                raise AssemblyError("nested .macro definitions", line)
+            elif text:
+                self._macro_def.lines.append(text)
+            return
         while True:
             match = _LABEL_RE.match(text)
             if not match:
@@ -440,7 +506,55 @@ class _Assembler:
         if text.startswith("."):
             self._parse_directive(text, line)
             return
+        head = text.split(None, 1)[0].lower()
+        if head in self._macros:
+            rest = text.split(None, 1)[1] if len(text.split(None, 1)) > 1 else ""
+            self._expand_macro(self._macros[head], _split_operands(rest), line)
+            return
         self._parse_instruction(text, line)
+
+    # -- macros --------------------------------------------------------------
+
+    def _define_macro(self, rest: str, line: int) -> None:
+        match = _MACRO_HEAD_RE.match(rest.strip())
+        if not match or not match.group(1):
+            raise AssemblyError(".macro needs a name", line)
+        name = match.group(1).lower()
+        if name in _ALL_MNEMONICS or name in self._macros:
+            raise AssemblyError(f"macro name {name!r} already in use", line)
+        params = tuple(p for p in _split_operands(match.group(2)) if p)
+        for param in params:
+            if not _MACRO_NAME_RE.match(param):
+                raise AssemblyError(f"bad macro parameter {param!r}", line)
+        if len(set(params)) != len(params):
+            raise AssemblyError("duplicate macro parameter", line)
+        self._macro_def = _MacroDef(name=name, params=params, defined_at=line)
+
+    def _expand_macro(
+        self, macro: _MacroDef, operands: list[str], line: int
+    ) -> None:
+        if len(operands) != len(macro.params):
+            raise AssemblyError(
+                f"macro {macro.name!r} takes {len(macro.params)} "
+                f"argument(s), got {len(operands)}",
+                line,
+            )
+        if self._depth >= _MACRO_DEPTH_LIMIT:
+            raise AssemblyError(
+                f"macro expansion too deep in {macro.name!r} (recursive?)",
+                line,
+            )
+        mapping = dict(zip(macro.params, operands))
+        index = self._expansions
+        self._expansions += 1
+        self._depth += 1
+        try:
+            for body_line in macro.lines:
+                self._parse_line(
+                    _substitute_macro(body_line, mapping, index), line
+                )
+        finally:
+            self._depth -= 1
 
     # -- directives ----------------------------------------------------------
 
@@ -448,7 +562,11 @@ class _Assembler:
         parts = text.split(None, 1)
         name = parts[0].lower()
         rest = parts[1] if len(parts) > 1 else ""
-        if name == ".org":
+        if name == ".macro":
+            self._define_macro(rest, line)
+        elif name == ".endm":
+            raise AssemblyError(".endm outside a macro definition", line)
+        elif name == ".org":
             target = _Expr(rest, line).evaluate(self._symbols)
             self._finish_segment()
             self._start_segment(target)

@@ -12,6 +12,7 @@ Default physical memory map::
     0xFFF0_0000 .. +0x1000       console MMIO window
     0xFFF1_0000 .. +0x1000       timer MMIO window
     0xFFF2_0000 .. +0x1000       DMA controller MMIO window
+    0xFFF3_0000 .. +0x1000       network interface MMIO window
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.devices.console import Console
 from repro.devices.disk import Disk
 from repro.devices.dma import DMAController
 from repro.devices.framebuffer import Framebuffer
+from repro.devices.nic import NetworkInterface
 from repro.devices.pic import InterruptController
 from repro.devices.port_bus import PortBus
 from repro.devices.timer import Timer
@@ -37,6 +39,7 @@ FRAMEBUFFER_BASE = 0x000A0000
 CONSOLE_MMIO_BASE = 0xFFF00000
 TIMER_MMIO_BASE = 0xFFF10000
 DMA_MMIO_BASE = 0xFFF20000
+NIC_MMIO_BASE = 0xFFF30000
 MMIO_WINDOW_SIZE = 0x1000
 
 DEFAULT_RAM_SIZE = 4 * 1024 * 1024
@@ -66,6 +69,7 @@ class Machine:
         self.timer = Timer(self.pic, period=self.config.timer_period)
         self.dma = DMAController(self.bus, self.pic)
         self.disk = Disk(self.bus, self.pic)
+        self.nic = NetworkInterface(self.bus, self.pic)
         self.framebuffer: Framebuffer | None = None
 
         self.pic.attach(self.ports)
@@ -73,6 +77,7 @@ class Machine:
         self.timer.attach(self.ports)
         self.dma.attach(self.ports)
         self.disk.attach(self.ports)
+        self.nic.attach(self.ports)
 
         self.bus.add_region(
             MMIORegion(CONSOLE_MMIO_BASE, MMIO_WINDOW_SIZE, self.console,
@@ -84,6 +89,9 @@ class Machine:
         self.bus.add_region(
             MMIORegion(DMA_MMIO_BASE, MMIO_WINDOW_SIZE, self.dma, "dma")
         )
+        self.bus.add_region(
+            MMIORegion(NIC_MMIO_BASE, MMIO_WINDOW_SIZE, self.nic, "nic")
+        )
         if self.config.with_framebuffer:
             self.framebuffer = Framebuffer()
             self.framebuffer.attach(self.ports)
@@ -93,7 +101,7 @@ class Machine:
                            "framebuffer")
             )
 
-        self._tickers = (self.timer, self.dma, self.disk)
+        self._tickers = (self.timer, self.dma, self.disk, self.nic)
         self.instructions_retired = 0
 
     def add_ticker(self, device) -> None:

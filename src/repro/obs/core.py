@@ -65,6 +65,21 @@ class Observability:
     def note_interp(self, instructions: int = 1) -> None:
         self.hotspots.note_interp(instructions)
 
+    def dispatch_summary(self) -> dict:
+        """Deterministic dispatch-size quantiles for per-run records.
+
+        Interpolated from the fixed power-of-two histogram buckets, so
+        the values depend only on the observation multiset — safe to
+        gate exactly in CI (see the scenario matrix).
+        """
+        return {
+            "count": self._dispatch_instr.count,
+            "p50_instructions": round(self._dispatch_instr.quantile(0.5), 6),
+            "p99_instructions": round(self._dispatch_instr.quantile(0.99), 6),
+            "p50_molecules": round(self._dispatch_mols.quantile(0.5), 6),
+            "p99_molecules": round(self._dispatch_mols.quantile(0.99), 6),
+        }
+
     # -- finalization ------------------------------------------------------
 
     def finalize(self, stats_dict: dict, run_info: dict | None = None) -> None:

@@ -1,0 +1,6 @@
+"""Adversarial guest scenario matrix (see scenarios.base for the
+convergent-authoring rules and scenarios.matrix for the classes)."""
+
+from repro.scenarios.base import STACK_SCRATCH, Scenario, ScenarioProgram
+
+__all__ = ["STACK_SCRATCH", "Scenario", "ScenarioProgram"]

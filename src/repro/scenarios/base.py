@@ -1,0 +1,56 @@
+"""Shared types for the adversarial scenario matrix.
+
+A *scenario* is an assembly program engineered to be **convergent**: the
+interpreter and the CMS deliver asynchronous interrupts at different
+instruction boundaries, so a scenario's final architectural state must
+be a pure function of *event counts*, never of *event timing*.  The
+authoring rules that make this true:
+
+* Device interrupt volume is self-limiting: each ISR counts its own
+  deliveries and disables its device at a fixed count, so the number of
+  delivered interrupts is guest-controlled, not schedule-controlled.
+* The NIC is stop-and-wait (the ISR re-arms it), so the packet stream
+  is identical under any delivery schedule.
+* ISRs never touch ESI (the checksum register); they accumulate into
+  RAM cells, and the main context folds those cells into ESI only after
+  the devices have quiesced.
+* Stack arenas hold dead frames from whatever delivery points actually
+  occurred, so they are masked out of the RAM comparison — exactly the
+  fuzz oracle's rule for injected runs.
+
+Scenarios that deliberately leave delivery *counts* unpinned (the
+preemptive scheduler keeps its timer free-running until the workload
+finishes, so the number of context switches legitimately differs
+between engines) set ``pin_interrupts=False``; every other
+architectural channel is still compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+# Stack scratch arena excluded from RAM comparison: main stack plus the
+# per-task stacks all live inside this window (see scheduler.py).
+STACK_SCRATCH = (0x00078000, 0x0007F000)
+
+
+@dataclass(frozen=True)
+class ScenarioProgram:
+    """One assembled-from-source scenario instance."""
+
+    source: str
+    max_instructions: int
+    ram_masks: tuple[tuple[int, int], ...] = (STACK_SCRATCH,)
+    disk_sectors: int = 0  # seeded disk image sectors the runner installs
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named adversarial workload class in the matrix."""
+
+    name: str
+    title: str
+    description: str
+    build: Callable[[int, int], ScenarioProgram]  # (budget, seed)
+    pin_interrupts: bool = True

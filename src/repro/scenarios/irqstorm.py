@@ -1,0 +1,243 @@
+"""Interrupt-storm device server: DMA + disk under PIC/timer/NIC fire.
+
+The guest is a small event-driven server.  Its main loop repeatedly
+kicks a DMA memory-to-memory copy and a disk sector read, waiting on
+ISR-incremented completion counters, while two asynchronous interrupt
+sources hammer it the whole time: a fast periodic timer and the
+stop-and-wait NIC delivering seeded packets into a receive ring.
+
+The paper's §3.3/§3.6.1 pressure points all fire at once: interrupts
+arriving mid-translation force rollbacks to committed state, and every
+DMA/disk/NIC byte lands through the memory bus where the CMS store
+observer must invalidate affected translations.
+
+Convergence: the timer ISR disables the timer after a fixed tick
+count, the NIC ISR stops the NIC after a fixed packet count, and DMA /
+disk completions are serialized by the main loop — so *every* delivered
+interrupt count is guest-controlled and both engines observe identical
+device event streams (see scenarios.base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.builder import (
+    MACRO_LIBRARY,
+    random_words,
+    word_table,
+    wrap,
+)
+
+from repro.scenarios.base import ScenarioProgram
+
+SRC_WORDS = 64  # DMA source block (256 bytes)
+DISK_SECTORS = 4
+
+
+@dataclass(frozen=True)
+class StormKnobs:
+    """Instruction-budget-derived sizing for one storm phase."""
+
+    timer_period: int
+    ticks: int
+    nic_period: int
+    npkts: int
+    rounds: int
+
+    @classmethod
+    def for_budget(cls, budget: int) -> "StormKnobs":
+        timer_period = 700
+        nic_period = 500
+        return cls(
+            timer_period=timer_period,
+            ticks=max(3, budget // (2 * timer_period)),
+            nic_period=nic_period,
+            npkts=max(3, (budget * 11) // (20 * nic_period)),
+            rounds=max(2, budget // 900),
+        )
+
+
+def phase_body(p: str, knobs: StormKnobs) -> str:
+    """The storm phase with all labels prefixed by ``p``."""
+    return f"""
+; ---- interrupt-storm device server ({p}) -----------------------------
+    mov ebx, 0
+    storei [ebx + 128], {p}isr_timer    ; IVT vector 32 (IRQ 0)
+    storei [ebx + 136], {p}isr_dma      ; IVT vector 34 (IRQ 2)
+    storei [ebx + 140], {p}isr_disk     ; IVT vector 35 (IRQ 3)
+    storei [ebx + 144], {p}isr_nic      ; IVT vector 36 (IRQ 4)
+    storei [ebx + {p}ticks], 0
+    storei [ebx + {p}rxsum], 0
+    storei [ebx + {p}rxcnt], 0
+    storei [ebx + {p}dmadone], 0
+    storei [ebx + {p}diskdone], 0
+    mov eax, {knobs.timer_period}
+    out 0x40
+    mov eax, 1
+    out 0x41                            ; timer on
+    mov eax, {p}rxbuf
+    out 0x70
+    mov eax, {knobs.nic_period}
+    out 0x71
+    mov eax, 1
+    out 0x72                            ; NIC on + armed
+    sti
+    mov edi, 0
+{p}serve:
+    ; DMA the source block over the destination block.
+    mov eax, {p}srcbuf
+    out 0x50
+    mov eax, {p}dstbuf
+    out 0x51
+    mov eax, {SRC_WORDS * 4}
+    out 0x52
+    mov eax, 1
+    out 0x53
+    mov ecx, edi
+    inc ecx
+    spin_until {p}dmadone, ecx
+    ; Read one disk sector into the staging buffer.
+    mov eax, edi
+    and eax, {DISK_SECTORS - 1}
+    out 0x60
+    mov eax, {p}diskbuf
+    out 0x61
+    mov eax, 1
+    out 0x62
+    mov eax, 1
+    out 0x63
+    spin_until {p}diskdone, ecx
+    ; Fold one staged word (main context owns ESI).
+    mov eax, edi
+    and eax, 127
+    shl eax, 2
+    add eax, {p}diskbuf
+    load eax, [eax]
+    mix eax
+    inc edi
+    cmp edi, {knobs.rounds}
+    jne {p}serve
+    ; Quiesce: both storm sources self-limit in their ISRs.
+    mov ecx, {knobs.npkts}
+    spin_until {p}rxcnt, ecx
+    mov ecx, {knobs.ticks}
+    spin_until {p}ticks, ecx
+    cli
+    load eax, [ebx + {p}rxsum]
+    mix eax
+    load eax, [ebx + {p}rxcnt]
+    mix eax
+    load eax, [ebx + {p}ticks]
+    mix eax
+    load eax, [ebx + {p}dmadone]
+    mix eax
+    load eax, [ebx + {p}diskdone]
+    mix eax
+    load eax, [ebx + {p}dstbuf]
+    mix eax
+    jmp {p}phase_end
+
+{p}isr_timer:                           ; self-limits at a fixed count
+    isr_save
+    mov ebx, 0
+    load eax, [ebx + {p}ticks]
+    inc eax
+    store [ebx + {p}ticks], eax
+    cmp eax, {knobs.ticks}
+    jne {p}timer_live
+    mov eax, 0
+    out 0x41                            ; timer off: exactly N deliveries
+{p}timer_live:
+    eoi
+    isr_restore
+    iret
+
+{p}isr_dma:
+    isr_save
+    mov ebx, 0
+    load eax, [ebx + {p}dmadone]
+    inc eax
+    store [ebx + {p}dmadone], eax
+    eoi
+    isr_restore
+    iret
+
+{p}isr_disk:
+    isr_save
+    mov ebx, 0
+    load eax, [ebx + {p}diskdone]
+    inc eax
+    store [ebx + {p}diskdone], eax
+    eoi
+    isr_restore
+    iret
+
+{p}isr_nic:                             ; fold the packet, then re-arm
+    isr_save
+    mov edx, {p}rxbuf
+    mov ecx, 8
+    mov ebx, 0
+{p}nic_word:
+    load eax, [edx]
+    add ebx, eax
+    rol ebx, 3
+    add edx, 4
+    dec ecx
+    jnz {p}nic_word
+    mov edx, 0
+    load eax, [edx + {p}rxsum]
+    add eax, ebx
+    store [edx + {p}rxsum], eax
+    load eax, [edx + {p}rxcnt]
+    inc eax
+    store [edx + {p}rxcnt], eax
+    cmp eax, {knobs.npkts}
+    je {p}nic_stop
+    mov eax, 2
+    out 0x72                            ; stop-and-wait: arm next packet
+    jmp {p}nic_ack
+{p}nic_stop:
+    mov eax, 0
+    out 0x72                            ; exactly N packets ever delivered
+{p}nic_ack:
+    eoi
+    isr_restore
+    iret
+; DMA destination deliberately shares pages with the ISR code above, so
+; every transfer makes the store observer invalidate live translations
+; (paper 3.6.1: "DMA writes to a protected page invalidate all
+; translations for the page").
+.align 64
+{p}dstbuf:
+    .space {SRC_WORDS * 4}
+{p}phase_end:
+"""
+
+
+def phase_data(p: str, seed: int, base: int) -> str:
+    """Counters and buffers for one storm phase at ``base``."""
+    source = word_table(f"{p}srcbuf", random_words(seed ^ 0xD1CE, SRC_WORDS))
+    return f"""
+.org {base:#x}
+{p}rxbuf:    .space 32
+{p}rxsum:    .word 0
+{p}rxcnt:    .word 0
+{p}ticks:    .word 0
+{p}dmadone:  .word 0
+{p}diskdone: .word 0
+{p}diskbuf:  .space 512
+{source}
+"""
+
+
+def build(budget: int, seed: int) -> ScenarioProgram:
+    knobs = StormKnobs.for_budget(budget)
+    source = (MACRO_LIBRARY
+              + wrap(phase_body("nw_", knobs),
+                     data=phase_data("nw_", seed, 0x00100000)))
+    return ScenarioProgram(
+        source=source,
+        max_instructions=budget * 2,
+        disk_sectors=DISK_SECTORS,
+    )

@@ -1,0 +1,50 @@
+"""The adversarial scenario matrix: every workload class, by name."""
+
+from __future__ import annotations
+
+from repro.scenarios import guestjit, irqstorm, scheduler, soak
+from repro.scenarios.base import Scenario
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        name="irq-storm",
+        title="Interrupt-storm device server",
+        description=("DMA + disk server under sustained timer and "
+                     "stop-and-wait NIC interrupt fire"),
+        build=irqstorm.build,
+    ),
+    Scenario(
+        name="task-switch",
+        title="Preemptive scheduler",
+        description=("timer-driven round-robin context switches over "
+                     "tasks whose code and data share pages"),
+        build=scheduler.build,
+        pin_interrupts=False,
+    ),
+    Scenario(
+        name="guest-jit",
+        title="Guest JIT",
+        description=("guest emits, patches, and re-enters its own "
+                     "generated code every round"),
+        build=guestjit.build,
+    ),
+    Scenario(
+        name="soak",
+        title="Long-horizon soak",
+        description=("storm + scheduler + JIT phases looped back to "
+                     "back with periodic runtime-audit sweeps"),
+        build=soak.build,
+        pin_interrupts=False,
+    ),
+)
+
+
+def names() -> list[str]:
+    return [s.name for s in SCENARIOS]
+
+
+def get(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}; known: {names()}")

@@ -1,0 +1,298 @@
+"""Preemptive-scheduler "OS": timer-driven context switches over tasks
+whose code and data share pages.
+
+A round-robin scheduler ISR saves the full register file on the
+current context's stack, parks ESP in a task control block, and
+resumes the next context with ``iret`` — the classic preemptive
+switch, driven by a fast timer slice.  Three tasks run under it:
+
+* task 1 mutates a counter and a table placed on its own code page
+  (fine-grain SMC protection: data stores keep dirtying protected
+  translation pages without changing code bytes),
+* task 2 patches the immediate of a helper routine before every call
+  (stylized SMC / self-revalidation and translation-group version
+  churn), and
+* task 3 does byte-granularity rotate-copies between buffers that
+  also live beside its code.
+
+Convergence: the scheduler keeps switching until every task has set
+its done flag, so the *number* of context switches legitimately
+depends on delivery timing — this scenario therefore runs with
+``pin_interrupts=False``.  Everything else converges: each task's
+work is a pure function of its iteration count (preemption preserves
+registers exactly), a finished task parks in a one-instruction spin so
+its final saved frame is deterministic, and the main context folds the
+arena results into ESI only after stopping the timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.builder import (
+    MACRO_LIBRARY,
+    random_words,
+    word_table,
+    wrap,
+)
+
+from repro.scenarios.base import ScenarioProgram
+
+# Context stacks: main uses the wrap() default (0x7F000); the tasks get
+# their own stacks inside the masked scratch window (see base.py).
+TASK_STACK_TOPS = (0x0007B000, 0x0007A800, 0x0007A000)
+FRAME_BYTES = 36  # 7 registers + eip + eflags
+NCTX = 4  # main + 3 tasks
+
+
+@dataclass(frozen=True)
+class SchedKnobs:
+    """Budget-derived sizing for one scheduler phase."""
+
+    slice_period: int
+    iters1: int
+    iters2: int
+    iters3: int
+
+    @classmethod
+    def for_budget(cls, budget: int) -> "SchedKnobs":
+        return cls(
+            slice_period=400,
+            iters1=max(4, budget // 65),
+            iters2=max(4, budget // 90),
+            iters3=max(2, budget // 1600),
+        )
+
+
+def _initial_frame(p: str, index: int, task_label: str) -> str:
+    """Build task ``index``'s initial switch frame (EDX holds EFLAGS)."""
+    base = TASK_STACK_TOPS[index] - FRAME_BYTES
+    zeros = "\n".join(f"    storei [ebx + {off}], 0"
+                      for off in range(0, 28, 4))
+    return f"""
+    mov ebx, {base:#x}
+{zeros}
+    storei [ebx + 28], {task_label}
+    store [ebx + 32], edx
+    mov eax, ebx
+    mov edi, 0
+    store [edi + {p}tcb + {4 * (index + 1)}], eax
+"""
+
+
+def phase_body(p: str, knobs: SchedKnobs, seed: int) -> str:
+    frames = "".join(
+        _initial_frame(p, i, f"{p}task{i + 1}") for i in range(3)
+    )
+    src = word_table(f"{p}a3_src", random_words(seed ^ 0xBEEF, 8))
+    return f"""
+; ---- preemptive scheduler ({p}) --------------------------------------
+    mov ebx, 0
+    storei [ebx + 128], {p}isr          ; IVT vector 32 (IRQ 0)
+    storei [ebx + {p}cur], 0
+    storei [ebx + {p}done1], 0
+    storei [ebx + {p}done2], 0
+    storei [ebx + {p}done3], 0
+    storei [ebx + {p}tcb], 0            ; slot 0 saved at first switch
+    storei [ebx + {p}a1_val], 0x1A2B3C4D
+    storei [ebx + {p}a2_val], 0x0F1E2D3C
+    storei [ebx + {p}a3_acc], 0
+    mov ecx, 16
+    mov edx, {p}a1_tab
+{p}rst_tab:
+    storei [edx], 0
+    add edx, 4
+    dec ecx
+    jnz {p}rst_tab
+    ; EFLAGS image with IF=1 for the initial frames (timer not running,
+    ; so nothing can deliver inside this window).
+    sti
+    pushf
+    pop edx
+    cli
+    store [ebx + {p}eftpl], edx
+{frames}
+    mov eax, {knobs.slice_period}
+    out 0x40
+    mov eax, 1
+    out 0x41                            ; preemption starts here
+    sti
+{p}wait_all:
+    mov ebx, 0
+    load eax, [ebx + {p}done1]
+    load ecx, [ebx + {p}done2]
+    and eax, ecx
+    load ecx, [ebx + {p}done3]
+    and eax, ecx
+    cmp eax, 1
+    jne {p}wait_all
+    cli
+    mov eax, 0
+    out 0x41                            ; timer off: switching over
+    load eax, [ebx + {p}a1_val]
+    mix eax
+    load eax, [ebx + {p}a1_tab]
+    mix eax
+    load eax, [ebx + {p}a1_tab + 32]
+    mix eax
+    load eax, [ebx + {p}a2_val]
+    mix eax
+    load eax, [ebx + {p}a3_acc]
+    mix eax
+    load eax, [ebx + {p}a3_dst]
+    mix eax
+    jmp {p}phase_end
+
+{p}isr:                                 ; round-robin context switch
+    push eax
+    push ecx
+    push edx
+    push ebx
+    push ebp
+    push esi
+    push edi
+    mov ebx, 0
+    load eax, [ebx + {p}cur]
+    mov ecx, eax
+    shl ecx, 2
+    add ecx, {p}tcb
+    store [ecx], esp                    ; park the outgoing context
+    inc eax
+    cmp eax, {NCTX}
+    jne {p}no_wrap
+    mov eax, 0
+{p}no_wrap:
+    store [ebx + {p}cur], eax
+    mov ecx, eax
+    shl ecx, 2
+    add ecx, {p}tcb
+    load esp, [ecx]                     ; adopt the incoming context
+    eoi
+    pop edi
+    pop esi
+    pop ebp
+    pop ebx
+    pop edx
+    pop ecx
+    pop eax
+    iret
+
+{p}task1:                               ; data stores on its own code page
+    mov ebx, 0
+    mov ecx, {knobs.iters1}
+{p}t1_loop:
+    load eax, [ebx + {p}a1_val]
+    imul eax, 3
+    add eax, 7
+    store [ebx + {p}a1_val], eax
+    mov edx, ecx
+    and edx, 15
+    shl edx, 2
+    add edx, {p}a1_tab
+    load eax, [edx]
+    add eax, ecx
+    rol eax, 1
+    store [edx], eax
+    dec ecx
+    jnz {p}t1_loop
+    storei [ebx + {p}done1], 1
+{p}t1_idle:
+    jmp {p}t1_idle
+.align 16
+{p}a1_val:
+    .word 0
+{p}a1_tab:
+    .space 64
+
+{p}task2:                               ; patches its helper every call
+    mov ebx, 0
+    mov ecx, {knobs.iters2}
+{p}t2_loop:
+    mov eax, ecx
+    imul eax, 40503
+    xor eax, 0x5A5A5A5A
+    store [ebx + {p}t2_site + 2], eax   ; rewrite the add immediate
+    call {p}t2_helper
+    load edx, [ebx + {p}a2_val]
+    xor edx, eax
+    rol edx, 7
+    store [ebx + {p}a2_val], edx
+    dec ecx
+    jnz {p}t2_loop
+    storei [ebx + {p}done2], 1
+{p}t2_idle:
+    jmp {p}t2_idle
+{p}t2_helper:
+    mov eax, 100
+{p}t2_site:
+    add eax, 0                          ; immediate patched per call
+    ret
+.align 16
+{p}a2_val:
+    .word 0
+
+{p}task3:                               ; byte rotate-copies beside code
+    mov ebx, 0
+    mov ecx, {knobs.iters3}
+{p}t3_loop:
+    mov edx, 0
+{p}t3_copy:
+    mov eax, edx
+    add eax, ecx
+    and eax, 31
+    add eax, {p}a3_src
+    loadb eax, [eax]
+    mov ebp, edx
+    add ebp, {p}a3_dst
+    storeb [ebp], eax
+    inc edx
+    cmp edx, 32
+    jne {p}t3_copy
+    load eax, [ebx + {p}a3_dst]
+    load edx, [ebx + {p}a3_acc]
+    add edx, eax
+    rol edx, 1
+    store [ebx + {p}a3_acc], edx
+    dec ecx
+    jnz {p}t3_loop
+    storei [ebx + {p}done3], 1
+{p}t3_idle:
+    jmp {p}t3_idle
+.align 16
+{src}
+{p}a3_dst:
+    .space 32
+{p}a3_acc:
+    .word 0
+{p}phase_end:
+"""
+
+
+def phase_data(p: str, base: int) -> str:
+    """Scheduler bookkeeping cells (TCBs live off the shared pages)."""
+    return f"""
+.org {base:#x}
+{p}tcb:
+    .word 0, 0, 0, 0
+{p}cur:
+    .word 0
+{p}done1:
+    .word 0
+{p}done2:
+    .word 0
+{p}done3:
+    .word 0
+{p}eftpl:
+    .word 0
+"""
+
+
+def build(budget: int, seed: int) -> ScenarioProgram:
+    knobs = SchedKnobs.for_budget(budget)
+    source = (MACRO_LIBRARY
+              + wrap(phase_body("sc_", knobs, seed),
+                     data=phase_data("sc_", 0x00100000)))
+    return ScenarioProgram(
+        source=source,
+        max_instructions=budget * 3,
+    )

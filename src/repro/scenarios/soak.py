@@ -1,0 +1,64 @@
+"""Long-horizon soak: loop the whole adversarial mix back to back.
+
+The soak program chains one interrupt-storm phase, one preemptive-
+scheduler phase, and one guest-JIT phase — each the same phase body the
+standalone scenarios use, re-prefixed so labels and data arenas stay
+disjoint — and loops the sequence from a RAM round counter.  Re-running
+a phase re-initializes its counters and its interrupt vectors from
+guest code, so translations built in round 1 face round 2's IVT
+rewrites and device re-arms on top of everything else.
+
+One deliberate hazard rides the phase seams: the scheduler phase stops
+its timer with an interrupt possibly still latched in the PIC, and the
+next storm phase's ``sti`` delivers that stale interrupt through the
+*storm* ISR.  The storm ISR self-limits on its tick cell, so the cell
+still converges to the same count under any delivery schedule — but
+the total number of deliveries per engine legitimately differs, which
+is why the soak (like the scheduler) runs with
+``pin_interrupts=False``.
+
+The runner points its periodic RuntimeAuditor sweeps and HealthReport
+checks at exactly this workload (see scenarios.runner).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import MACRO_LIBRARY, wrap
+
+from repro.scenarios import guestjit, irqstorm, scheduler
+from repro.scenarios.base import ScenarioProgram
+
+SOAK_ROUNDS = 2
+
+
+def build(budget: int, seed: int) -> ScenarioProgram:
+    inner = max(2000, budget // (3 * SOAK_ROUNDS))
+    storm = irqstorm.StormKnobs.for_budget(inner)
+    sched = scheduler.SchedKnobs.for_budget(inner)
+    jit = guestjit.JitKnobs.for_budget(inner)
+    body = f"""
+    mov ebx, 0
+    storei [ebx + sk_round], {SOAK_ROUNDS}
+sk_loop:
+{irqstorm.phase_body("sk1_", storm)}
+{scheduler.phase_body("sk2_", sched, seed)}
+{guestjit.phase_body("sk3_", jit)}
+    mov ebx, 0
+    load eax, [ebx + sk_round]
+    dec eax
+    store [ebx + sk_round], eax
+    cmp eax, 0
+    jne sk_loop
+"""
+    data = (irqstorm.phase_data("sk1_", seed, 0x00100000)
+            + scheduler.phase_data("sk2_", 0x00102000)
+            + """
+.org 0x103000
+sk_round:
+    .word 0
+""")
+    return ScenarioProgram(
+        source=MACRO_LIBRARY + wrap(body, data=data),
+        max_instructions=budget * 5,
+        disk_sectors=irqstorm.DISK_SECTORS,
+    )

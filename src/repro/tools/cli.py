@@ -18,6 +18,9 @@ Subcommands::
                                          # fault-isolated fleet supervisor
     repro-cms fleet campaign             # seeded fleet chaos campaign
                                          # (kill / corrupt / storm modes)
+    repro-cms scenario list              # adversarial scenario matrix
+    repro-cms scenario run [names...]    # run scenarios differentially,
+                                         # print/emit pass+perf records
 
 ``top`` and ``health`` also accept ``--session PATH`` (a JSONL
 telemetry file) or ``--snapshot PATH`` (a warm-start snapshot) to
@@ -716,6 +719,75 @@ def add_fleet_flags(parser: argparse.ArgumentParser) -> None:
 
 
 # ----------------------------------------------------------------------
+# repro-cms scenario — the adversarial guest scenario matrix
+# ----------------------------------------------------------------------
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios.matrix import SCENARIOS
+
+    if args.action == "list":
+        print(f"{'name':<14} {'pinned':<7} description")
+        for scenario in SCENARIOS:
+            pinned = "yes" if scenario.pin_interrupts else "no"
+            print(f"{scenario.name:<14} {pinned:<7} "
+                  f"{scenario.description}")
+        return 0
+
+    import json
+
+    from repro.scenarios.runner import all_passed, run_matrix
+
+    report = run_matrix(
+        args.budget, args.seed, names=args.scenarios or None,
+        config=config_from_args(args),
+        chaos_rate=args.chaos_rate, chaos_seed=args.chaos_seed,
+    )
+    for name, record in report["scenarios"].items():
+        counters = record["counters"]
+        dispatch = record["dispatch"]
+        print(f"== {name} ({record['title']}): "
+              f"{'PASS' if record['pass'] else 'FAIL'}")
+        print(f"   instructions {counters.get('guest_instructions', 0):>9}"
+              f"  molecules {counters.get('total_molecules', 0):>11}"
+              f"  smc invalidations "
+              f"{counters.get('smc_invalidations', 0)}")
+        print(f"   dispatch p50/p99 {dispatch['p50_instructions']:.1f}/"
+              f"{dispatch['p99_instructions']:.1f} instr"
+              f"  audit sweeps {record['sweeps']}"
+              f"  speedup {record['timing']['speedup']:.2f}x")
+        for diff in record["diffs"]:
+            print(f"   DIFF {diff}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    if all_passed(report):
+        print("all scenarios differentially clean")
+        return 0
+    print("SCENARIO DIVERGENCE — see DIFF lines above", file=sys.stderr)
+    return 1
+
+
+def add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("action", choices=("list", "run"))
+    parser.add_argument("scenarios", nargs="*",
+                        help="scenario names for `run` "
+                             "(default: the whole matrix)")
+    parser.add_argument("--budget", type=int, default=120_000,
+                        help="guest-instruction sizing budget per "
+                             "scenario (default 120000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the BENCH_scenarios report here")
+    parser.add_argument("--chaos-rate", type=float, default=0.0,
+                        help="inject internal translator failures into "
+                             "the CMS leg (containment must hold)")
+    parser.add_argument("--chaos-seed", type=int, default=0)
+
+
+# ----------------------------------------------------------------------
 # repro-fuzz — the differential fuzzing campaign driver
 # ----------------------------------------------------------------------
 
@@ -928,6 +1000,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_fleet_flags(fleet_parser)
     add_config_flags(fleet_parser)
     fleet_parser.set_defaults(func=cmd_fleet)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="adversarial guest scenario matrix: run each "
+                         "class differentially and report pass + perf")
+    add_scenario_flags(scenario_parser)
+    add_config_flags(scenario_parser)
+    scenario_parser.set_defaults(func=cmd_scenario)
 
     return parser
 

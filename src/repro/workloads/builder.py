@@ -33,6 +33,42 @@ pc_emit:
 """
 
 
+# Macro library for interrupt-driven scenarios (see repro.scenarios).
+# Included once per program; expansions are textual, so these cost
+# nothing unless invoked.
+MACRO_LIBRARY = """
+; --- scenario macro library ------------------------------------------
+.macro eoi                   ; acknowledge the PIC (clobbers EAX)
+    mov eax, 0x20
+    out 0x20
+.endm
+.macro isr_save              ; scratch registers an ISR may clobber
+    push eax
+    push ecx
+    push edx
+    push ebx
+.endm
+.macro isr_restore
+    pop ebx
+    pop edx
+    pop ecx
+    pop eax
+.endm
+.macro mix reg               ; fold reg into the ESI checksum
+    xor esi, reg
+    rol esi, 5
+    add esi, 0x9E3779B9
+.endm
+.macro spin_until cell, bound  ; busy-wait until [cell] >= bound
+spin_\\@:
+    mov eax, cell
+    load eax, [eax]
+    cmp eax, bound
+    jb spin_\\@
+.endm
+"""
+
+
 def wrap(body: str, data: str = "", org: int = 0x1000,
          stack: int = STACK_TOP) -> str:
     """Wrap a workload body in the standard prologue and epilogue.

@@ -187,3 +187,130 @@ class TestInstructions:
                            "storex [ebx+ecx*4], eax\n")
         instr = decode_at(program, program.entry)
         assert instr.op is Op.LOADX
+
+
+class TestMacros:
+    def test_simple_expansion(self):
+        program = assemble(
+            ".macro bump reg, delta\n"
+            "    add reg, delta\n"
+            ".endm\n"
+            "start:\n"
+            "    bump eax, 5\n"
+            "    hlt\n"
+        )
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.ADD_RI
+        assert instr.imm == 5
+
+    def test_zero_argument_macro(self):
+        program = assemble(
+            ".macro pause\n"
+            "    nop\n"
+            "    nop\n"
+            ".endm\n"
+            "start:\n"
+            "    pause\n"
+            "    hlt\n"
+        )
+        assert decode_at(program, program.entry).op is Op.NOP
+
+    def test_memory_operand_argument(self):
+        program = assemble(
+            ".macro put slot, reg\n"
+            "    store slot, reg\n"
+            ".endm\n"
+            "start:\n"
+            "    put [ebx+8], ecx\n"
+            "    hlt\n"
+        )
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.STORE
+        assert instr.disp == 8
+
+    def test_unique_labels_per_expansion(self):
+        # \@ expands to a per-invocation counter, so the same macro can
+        # define labels twice without colliding.
+        program = assemble(
+            ".macro clamp reg\n"
+            "    cmp reg, 10\n"
+            "    jbe ok_\\@\n"
+            "    mov reg, 10\n"
+            "ok_\\@:\n"
+            ".endm\n"
+            "start:\n"
+            "    clamp eax\n"
+            "    clamp ebx\n"
+            "    hlt\n"
+        )
+        labels = [s for s in program.symbols if s.startswith("ok_")]
+        assert len(labels) == 2
+
+    def test_macro_invoking_macro(self):
+        program = assemble(
+            ".macro one reg\n"
+            "    mov reg, 1\n"
+            ".endm\n"
+            ".macro two reg\n"
+            "    one reg\n"
+            "    add reg, 1\n"
+            ".endm\n"
+            "start:\n"
+            "    two edx\n"
+            "    hlt\n"
+        )
+        instr = decode_at(program, program.entry)
+        assert instr.op is Op.MOV_RI
+        assert instr.r1 == 2  # edx
+
+    def test_macro_with_data_directives(self):
+        program = assemble(
+            ".macro record tag\n"
+            "    .word tag, tag*2\n"
+            ".endm\n"
+            "start: hlt\n"
+            "tab:\n"
+            "    record 3\n"
+        )
+        image = program.flatten()
+        base = program.symbols["tab"]
+        assert image[base : base + 8] == bytes([3, 0, 0, 0, 6, 0, 0, 0])
+
+    def test_argument_count_mismatch(self):
+        with pytest.raises(AssemblyError, match="argument"):
+            assemble(
+                ".macro bump reg, delta\n"
+                "    add reg, delta\n"
+                ".endm\n"
+                "start: bump eax\n"
+            )
+
+    def test_unterminated_macro(self):
+        with pytest.raises(AssemblyError, match="missing .endm"):
+            assemble(".macro broken\n    nop\nstart: hlt\n")
+
+    def test_stray_endm(self):
+        with pytest.raises(AssemblyError, match="outside"):
+            assemble("start: hlt\n.endm\n")
+
+    def test_nested_definition_rejected(self):
+        with pytest.raises(AssemblyError, match="nested"):
+            assemble(".macro a\n.macro b\n.endm\n.endm\n")
+
+    def test_name_collision_with_mnemonic(self):
+        with pytest.raises(AssemblyError, match="already in use"):
+            assemble(".macro add x\n.endm\n")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(AssemblyError, match="already in use"):
+            assemble(".macro a\n.endm\n.macro a\n.endm\n")
+
+    def test_recursion_bounded(self):
+        with pytest.raises(AssemblyError, match="too deep"):
+            assemble(
+                ".macro loop_forever\n"
+                "    nop\n"
+                "    loop_forever\n"
+                ".endm\n"
+                "start: loop_forever\n"
+            )

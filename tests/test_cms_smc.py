@@ -187,6 +187,54 @@ class TestSelfRevalidation:
         assert cost_with < cost_without
 
 
+# Patch-then-call in a hot loop: the patching store, the call, and the
+# patched instruction all sit in one granule, so the trace that inlines
+# the call contains both the store and the stale code.  Regression for
+# the armed-prologue hole: arming a *running* translation's
+# self-revalidation prologue drops protection mid-body, and a later
+# store in the same body could rewrite code the body then executed
+# stale — the prologue only re-verifies on the next entry.  The host
+# CPU now detects the buffered self-write at the commit boundary.
+PATCH_AND_CALL_PROGRAM = """
+start:
+    mov ebx, 0
+    mov ecx, 120
+    mov esi, 0
+loop:
+    mov eax, ecx
+    imul eax, 40503
+    xor eax, 0x5A5A5A5A
+    store [ebx + patch_site + 2], eax  ; rewrite the add immediate
+    call helper
+    xor esi, eax
+    rol esi, 7
+    dec ecx
+    jnz loop
+    cli
+    hlt
+helper:
+    mov eax, 100
+patch_site:
+    add eax, 0                         ; immediate patched per call
+    ret
+.align 16
+side_data:
+    .word 0                            ; data in the code granule
+"""
+
+
+class TestArmedBodySelfWrite:
+    def test_equivalence(self):
+        assert_equivalent(PATCH_AND_CALL_PROGRAM, config=FAST)
+
+    def test_equivalence_default_config(self):
+        assert_equivalent(PATCH_AND_CALL_PROGRAM, config=CMSConfig())
+
+    def test_equivalence_without_stylized(self):
+        assert_equivalent(PATCH_AND_CALL_PROGRAM,
+                          config=replace(FAST, stylized_smc=False))
+
+
 # BLT-driver-style version cycling (§3.6.5): the opcode byte of one
 # instruction alternates between ADD (0x20) and XOR (0x24) register
 # forms, producing two code versions that repeat.

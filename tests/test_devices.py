@@ -8,6 +8,7 @@ from repro.devices.console import Console
 from repro.devices.disk import SECTOR_SIZE, Disk
 from repro.devices.dma import DMAController
 from repro.devices.framebuffer import Framebuffer
+from repro.devices.nic import NetworkInterface
 from repro.devices.pic import InterruptController
 from repro.devices.port_bus import PortBus
 from repro.devices.timer import Timer
@@ -241,3 +242,80 @@ class TestFramebuffer:
         fb = Framebuffer(8)
         fb.mmio_write(100, 1, 4)
         assert fb.checksum() == 0
+
+
+class TestNetworkInterface:
+    def _nic(self):
+        ram, bus = _bus()
+        pic = InterruptController()
+        nic = NetworkInterface(bus, pic, seed=0x1234)
+        return ram, bus, pic, nic
+
+    def test_delivers_packet_and_interrupts(self):
+        ram, bus, pic, nic = self._nic()
+        nic.rx_addr = 0x400
+        nic.period = 10
+        nic._control(1)
+        nic.tick(10)
+        assert nic.packets_delivered == 1
+        assert pic.pending_vector() == IRQ_BASE + NetworkInterface.IRQ
+        words = nic.packet_words(0)
+        got = [bus.read(0x400 + 4 * i, 4) for i in range(8)]
+        assert got == words
+        assert words[0] == 0  # header word carries the packet index
+
+    def test_stop_and_wait_requires_rearm(self):
+        ram, bus, pic, nic = self._nic()
+        nic.rx_addr = 0x400
+        nic.period = 5
+        nic._control(1)
+        nic.tick(5)
+        assert nic.packets_delivered == 1
+        nic.tick(500)  # un-armed: nothing may arrive
+        assert nic.packets_delivered == 1
+        nic._control(2)  # the ISR's re-arm
+        nic.tick(5)
+        assert nic.packets_delivered == 2
+
+    def test_payloads_deterministic_per_index(self):
+        _, _, _, nic = self._nic()
+        other = NetworkInterface(_bus()[1], InterruptController(),
+                                 seed=0x1234)
+        for index in (0, 1, 7):
+            assert nic.packet_words(index) == other.packet_words(index)
+        assert nic.packet_words(0) != nic.packet_words(1)
+
+    def test_stop_clears_armed(self):
+        ram, bus, pic, nic = self._nic()
+        nic.rx_addr = 0x400
+        nic.period = 5
+        nic._control(1)
+        nic._control(0)
+        nic.tick(500)
+        assert nic.packets_delivered == 0
+
+    def test_writes_visible_to_store_observers(self):
+        ram, bus = _bus()
+        seen = []
+        bus.store_observers.append(lambda a, s: seen.append(a))
+        nic = NetworkInterface(bus, InterruptController())
+        nic.rx_addr = 0x800
+        nic.period = 1
+        nic._control(1)
+        nic.tick(1)
+        assert len(seen) == NetworkInterface.PACKET_WORDS
+        assert seen[0] == 0x800
+
+    def test_ports(self):
+        ram, bus = _bus()
+        ports = PortBus()
+        nic = NetworkInterface(bus, InterruptController())
+        nic.attach(ports)
+        ports.write(0x70, 0x900)
+        ports.write(0x71, 3)
+        ports.write(0x72, 1)
+        assert ports.read(0x70) == 0x900
+        assert ports.read(0x71) == 3
+        assert ports.read(0x72) == 0b11  # enabled + armed
+        nic.tick(3)
+        assert ports.read(0x73) == 1

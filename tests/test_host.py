@@ -181,6 +181,8 @@ def _make_cpu():
 class _FakeTranslation:
     """Minimal translation for direct host testing."""
 
+    prologue_armed = False  # the commit path consults this (§3.6.2)
+
     def __init__(self, molecules, labels=None, entry_label="body"):
         self.molecules = molecules
         self.labels = labels or {"body": 0}

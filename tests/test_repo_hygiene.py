@@ -1,0 +1,58 @@
+"""Repository hygiene: .gitignore must never swallow tracked sources.
+
+A stale or unanchored .gitignore pattern (say, a module path that was
+later promoted from generated artifact to real source) silently drops
+files from future commits — `git add` skips them and nobody notices
+until a fresh clone breaks.  This pins the invariant structurally:
+no file git currently tracks may match .gitignore.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git(*argv: str, **kwargs) -> subprocess.CompletedProcess:
+    return subprocess.run(["git", "-C", str(REPO_ROOT), *argv],
+                          capture_output=True, text=True, **kwargs)
+
+
+def _require_git_repo() -> None:
+    if shutil.which("git") is None:
+        pytest.skip("git not installed")
+    if _git("rev-parse", "--is-inside-work-tree").returncode != 0:
+        pytest.skip("not running from a git checkout")
+
+
+def test_no_tracked_file_is_gitignored():
+    _require_git_repo()
+    tracked = _git("ls-files").stdout
+    assert tracked.strip(), "git ls-files returned nothing"
+    # Exit 0: some path matched an ignore pattern; 1: none did.
+    result = _git("check-ignore", "--stdin", "--no-index", input=tracked)
+    offenders = [line for line in result.stdout.splitlines() if line]
+    assert not offenders, (
+        ".gitignore matches tracked files (stale/unanchored pattern?): "
+        + ", ".join(offenders[:10])
+    )
+
+
+def test_benchmark_report_artifacts_are_ignored():
+    _require_git_repo()
+    # The CI lanes generate these at the repo root; they must never be
+    # committable by accident, while the baselines stay tracked.
+    for artifact in ("BENCH_scenarios.json", "BENCH_wallclock.json",
+                     "telemetry.jsonl"):
+        assert _git("check-ignore", "-q", artifact).returncode == 0, (
+            f"{artifact} (root CI artifact) is not gitignored"
+        )
+    assert _git("check-ignore", "-q",
+                "benchmarks/baselines/BENCH_scenarios.json").returncode == 1, (
+        "the committed baseline must not be gitignored"
+    )
