@@ -95,6 +95,10 @@ ABLATIONS = (
     ("fast_dispatch", "compress", True, 0.85),
     ("fast_bus_routing", "multimedia", True, 0.85),
     ("template_jit", "compress", False, 1.5),
+    # The software TLB is live on any paged workload: with it off,
+    # every access (and every dispatcher mapping probe) walks the
+    # guest page table through the bus.
+    ("mmu_tlb", "dos_boot", True, 0.85),
 )
 ABLATION_ROUNDS = 3  # best-of-N timing for every ablation config
 

@@ -99,6 +99,10 @@ class Translation:
     # persisted: its closure binds one process's live CPU objects, so a
     # warm-loaded translation recompiles on first dispatch instead.
     host_code: object | None = field(default=None, repr=False)
+    # MMU mapping epoch at which all of this translation's code pages
+    # were last verified identity-mapped (CMS dispatch cache; runtime
+    # only, never persisted — -1 means "never verified").
+    mapped_epoch: int = field(default=-1, repr=False)
 
     @property
     def num_molecules(self) -> int:
@@ -332,6 +336,21 @@ class TranslationCache:
             exit_atom.chained_translation = None
             if exit_atom in old.incoming_chains:
                 old.incoming_chains.remove(exit_atom)
+
+    def unchain_incoming(self, translation: Translation) -> int:
+        """Sever every chain *into* a still-valid translation.
+
+        The mapping-coherency rule (§3.6.1 under paging): when a page
+        table mutation may have moved a translation's code out from
+        under its guest addresses, direct chains into it must be cut so
+        control returns to the dispatcher, which re-verifies the
+        mapping before re-entering (and before re-chaining).  The
+        translation itself stays resident — if the identity mapping is
+        restored it revalidates without retranslating.
+        """
+        before = self.unchains
+        self._unchain_incoming(translation)
+        return self.unchains - before
 
     def _unchain_incoming(self, translation: Translation) -> None:
         for atom in translation.incoming_chains:

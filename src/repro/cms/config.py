@@ -151,6 +151,7 @@ class CMSConfig:
     fast_bus_routing: bool = True  # bisect MMIO routing + RAM fast path
     fast_dispatch: bool = True  # dispatcher/recovery fast paths
     template_jit: bool = True  # lower committed translations to Python
+    mmu_tlb: bool = True  # software TLB over the guest page table
 
     cost: CostModel = field(default_factory=CostModel)
 
@@ -165,4 +166,5 @@ class CMSConfig:
         from dataclasses import replace
 
         return replace(self, decode_cache=False, fast_bus_routing=False,
-                       fast_dispatch=False, template_jit=False)
+                       fast_dispatch=False, template_jit=False,
+                       mmu_tlb=False)

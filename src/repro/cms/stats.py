@@ -60,6 +60,9 @@ class CMSStats:
     revalidations_armed: int = 0
     revalidations_passed: int = 0
     fuel_exits: int = 0
+    # Paging coherency (§3.6.1 under an active MMU): chains severed
+    # because a page-table mutation touched a translated code page.
+    mapping_unchains: int = 0
 
     # Failure containment & graceful degradation (PR 3).
     contained_errors: int = 0  # internal failures stopped at a boundary

@@ -43,6 +43,7 @@ from repro.isa.exceptions import GuestException
 from repro.isa.icache import DecodedInstructionCache
 from repro.machine import Machine
 from repro.memory.finegrain import FineGrainCache
+from repro.memory.physical import PAGE_SHIFT
 from repro.memory.protection import ProtectionMap
 from repro.obs import Observability, ObservationBus
 from repro.translator.translator import TranslationError, Translator
@@ -129,6 +130,12 @@ class CodeMorphingSystem:
         # Wall-clock engineering dials (cost-model-invisible; the
         # benchmark harness flips them for attribution).
         machine.bus.set_fast_routing(config.fast_bus_routing)
+        machine.mmu.set_tlb_enabled(config.mmu_tlb)
+        # Mapping-coherency feed (§3.6.1 under paging): when a page
+        # table mutation touches a page that carries translated code,
+        # chains into its translations are severed so the dispatcher
+        # re-verifies the identity mapping before re-entering them.
+        machine.mmu.mapping_observers.append(self._on_mapping_changed)
         self._fast_dispatch = config.fast_dispatch
         # Template JIT (PR 6): committed translations lowered to
         # generated Python (host/jit.py).  Semantics-invisible like the
@@ -487,6 +494,15 @@ class CodeMorphingSystem:
             if translation is None:
                 self._interp_step()
                 return
+        if machine.mmu.paging_enabled and \
+                not self._translation_mapped(translation):
+            # Some *later* page of the region was remapped out from
+            # under the translation (the entry check above only proves
+            # the entry page): the host code no longer matches what the
+            # guest would fetch, so interpret until the identity
+            # mapping is restored.
+            self._interp_step()
+            return
 
         self.stats.dispatches += 1
         self._maybe_audit()
@@ -556,14 +572,57 @@ class CodeMorphingSystem:
                 self._handle_fault(exit_info.fault, current)
 
     def _identity_mapped(self, eip: int) -> bool:
-        """Translations are only reused for identity-mapped code."""
+        """Translations are only reused for identity-mapped code.
+
+        Uses the MMU's host-side probe: a CMS-internal mapping check is
+        not a guest access, so it must not bump the architectural
+        ``mmu.translations``/``faults`` counters (an unmapped EIP's
+        fetch fault surfaces in the interpreter, which *does* count).
+        """
         mmu = self.machine.mmu
         if not mmu.paging_enabled:
             return True
-        try:
-            return mmu.translate(eip, is_write=False) == eip
-        except GuestException:
-            return False  # the fetch fault will surface in the interpreter
+        return mmu.probe(eip) == eip
+
+    def _translation_mapped(self, translation: Translation) -> bool:
+        """Every code page of the translation is identity-mapped.
+
+        A translation's code ranges can span pages beyond the entry
+        EIP's; reusing it is only sound while *all* of them still map
+        identity (the host code was lifted from those physical bytes,
+        and SMC write-protection watches those physical pages).  The
+        result is cached against ``mmu.mapping_epoch`` so steady-state
+        dispatch pays one integer compare; any page-table mutation
+        bumps the epoch and forces a re-probe.
+        """
+        mmu = self.machine.mmu
+        if not mmu.paging_enabled:
+            return True
+        epoch = mmu.mapping_epoch
+        if translation.mapped_epoch == epoch:
+            return True
+        for page in translation.pages():
+            base = page << PAGE_SHIFT
+            if mmu.probe(base) != base:
+                return False
+        translation.mapped_epoch = epoch
+        return True
+
+    def _on_mapping_changed(self, vpn: int | None) -> None:
+        """MMU mapping observer: a PTE (or the whole table) changed.
+
+        Chains into translations on the affected page are severed so
+        chained execution cannot bypass the dispatcher's mapping check;
+        the translations stay resident and revalidate via
+        ``_translation_mapped`` once identity is restored.
+        """
+        if vpn is None:
+            victims = self.tcache.translations()
+        else:
+            victims = self.tcache.translations_on_page(vpn)
+        for translation in victims:
+            self.stats.mapping_unchains += \
+                self.tcache.unchain_incoming(translation)
 
     def _rollback(self, translation: Translation | None = None) -> None:
         """Roll host state back, under the rollback phase when obs on."""
@@ -702,6 +761,9 @@ class CodeMorphingSystem:
             target = self.tcache.lookup(atom.exit_target)
             if target is None or not target.valid:
                 return
+            if self.machine.mmu.paging_enabled and \
+                    not self._translation_mapped(target):
+                return  # never chain past the dispatcher's mapping check
             self.tcache.chain(source, atom, target)
         else:
             # Indirect exit: install a monomorphic inline cache guarded
@@ -710,6 +772,9 @@ class CodeMorphingSystem:
             target = self.tcache.lookup(observed)
             if target is None or not target.valid or target.prologue_armed:
                 return
+            if self.machine.mmu.paging_enabled and \
+                    not self._translation_mapped(target):
+                return  # never chain past the dispatcher's mapping check
             if atom.chained_translation is target and \
                     atom.chained_guard == observed:
                 return
@@ -769,6 +834,13 @@ class CodeMorphingSystem:
             return None
         if translation is None:
             return None
+        if self.machine.mmu.paging_enabled and \
+                not self._translation_mapped(translation):
+            # The translator read part of this region through a
+            # non-identity mapping (the entry page was identity but a
+            # later page was not); caching it would pin the wrong
+            # physical bytes.  Interpret until the mapping settles.
+            return None
         self.tcache.insert(translation)
         self.smc.protect_translation(translation)
         for page in translation.pages():
@@ -817,7 +889,13 @@ class CodeMorphingSystem:
             if not self.config.failure_containment:
                 raise
             self._contain("retranslate", entry, error)
-        if replacement is None:
+        if replacement is None or (
+                self.machine.mmu.paging_enabled and
+                not self._translation_mapped(replacement)):
+            # No replacement — or the retranslator just read the region
+            # through a non-identity mapping (same rule as first-time
+            # translation).  Either way the region falls back to the
+            # interpreter with its page protection rebuilt.
             for page in stale_pages:
                 self.smc.recompute_page(page)
             return
@@ -880,6 +958,15 @@ class CodeMorphingSystem:
             return
         if kind is HostFaultKind.SELF_CHECK:
             self._handle_self_check_fail(translation)
+            return
+        if kind is HostFaultKind.MMU_MUTATION:
+            # Page-table store: the interpreter re-executes it from the
+            # committed state so the mutation is immediately visible to
+            # MMU walks (a buffered store would not be).  Regions that
+            # keep mutating the table storm the ladder toward the
+            # interpreter — the adaptive response, like §3.4's
+            # interpret-only pinning.
+            self._interp_step()
             return
         if kind is HostFaultKind.GUEST_FAULT:
             genuine = self._recovery_interpret(fault, translation)

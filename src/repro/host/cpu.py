@@ -32,6 +32,7 @@ from repro.host.registers import R_EIP, R_IF, HostRegisterFile
 from repro.host.store_buffer import GatedStoreBuffer, StoreBufferOverflow
 from repro.isa.exceptions import GuestException
 from repro.machine import Machine
+from repro.memory.mmu import PT_SPAN
 
 MASK32 = 0xFFFFFFFF
 SIGN32 = 0x80000000
@@ -372,6 +373,19 @@ class HostCPU:
                               guest_addr=atom.guest_addr, paddr=paddr)
                 )
         else:
+            mmu = self.machine.mmu
+            if mmu.paging_enabled and \
+                    0 <= paddr - mmu.page_table_base < PT_SPAN:
+                # A store into the live page table: buffered stores are
+                # invisible to MMU walks until commit, so a later access
+                # in this same region could translate through the stale
+                # mapping.  Treat the mutation as a serializing event —
+                # abort the region and let the interpreter execute the
+                # store (immediately visible, §3.6.1 conservatively).
+                raise HostFaultError(
+                    HostFault(HostFaultKind.MMU_MUTATION,
+                              guest_addr=atom.guest_addr, paddr=paddr)
+                )
             # Up to three check/service rounds: a fine-grain miss fill
             # may be followed by a code-granule fault on the refilled
             # entry whose service (e.g. arming a revalidation prologue)

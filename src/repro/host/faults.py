@@ -24,6 +24,7 @@ class HostFaultKind(enum.Enum):
     GUEST_FAULT = enum.auto()  # potentially-genuine guest exception (§3.2)
     SELF_CHECK = enum.auto()  # self-checking translation found SMC (§3.6.3)
     STOREBUF_OVERFLOW = enum.auto()  # too many uncommitted stores
+    MMU_MUTATION = enum.auto()  # store targeted the live page table (§3.6.1)
 
 
 @dataclass

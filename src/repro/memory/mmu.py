@@ -9,11 +9,30 @@ This is enough substrate to exercise the phenomena the paper needs:
 page faults raised out of translated code must be delivered precisely
 (§3.2), and paging activity (e.g. a DMA disk read into a mapped page)
 interacts with translation-cache coherency (§3.6.1).
+
+Two kinds of state live here and must never mix:
+
+* **Architectural** — ``paging_enabled``, ``page_table_base``, and the
+  ``translations``/``faults`` counters.  These advance only for guest
+  accesses; the differential oracle compares them exactly, so a
+  host-side probe that bumped them would diverge the legs.
+* **Host-side** — the software TLB, ``probe()``, and the
+  ``tlb_hits``/``walks``/``probes``/``probe_walks`` stats.  The TLB is
+  a pure cache over the guest page table: it caches present PTEs only
+  and is invalidated through the bus ``store_observers`` hook when
+  anything (guest store, DMA, disk) writes inside the page-table span,
+  and wholesale on ``set_page_table``/``enable_paging``/
+  ``disable_paging``.  ``mapping_epoch`` counts those invalidations so
+  the CMS can cheaply revalidate cached identity-mapping facts, and
+  ``mapping_observers`` lets it unchain translations whose pages were
+  remapped.
 """
 
 from __future__ import annotations
 
-from repro.isa.exceptions import page_fault
+from typing import Callable
+
+from repro.isa.exceptions import GuestException, page_fault
 from repro.memory.bus import MemoryBus
 from repro.memory.physical import PAGE_SHIFT, PAGE_SIZE
 
@@ -21,6 +40,11 @@ MASK32 = 0xFFFFFFFF
 
 PTE_PRESENT = 0x1
 PTE_WRITABLE = 0x2
+
+# The page table spans one 4-byte PTE per possible VPN (2^20 of them
+# under 32-bit addressing).  Stores landing anywhere in
+# [page_table_base, page_table_base + PT_SPAN) are mapping mutations.
+PT_SPAN = 4 << 20
 
 
 class MMU:
@@ -30,17 +54,53 @@ class MMU:
         self._bus = bus
         self.paging_enabled = False
         self.page_table_base = 0
+        # Architectural counters (compared by the differential oracle).
         self.translations = 0
         self.faults = 0
+        # Host-side TLB + stats (never architecturally visible).
+        self.tlb_enabled = True
+        self.mapping_epoch = 0
+        self.mapping_observers: list[Callable[[int | None], None]] = []
+        self.tlb_hits = 0
+        self.walks = 0
+        self.probes = 0
+        self.probe_walks = 0
+        self.tlb_invalidations = 0
+        self._tlb: dict[int, int] = {}
+        self._observing = False
 
     def set_page_table(self, base: int) -> None:
-        self.page_table_base = base & ~(PAGE_SIZE - 1) if base % 4 else base
+        # PTEs are 4-byte entries; align the base down to 4 bytes.  (The
+        # low two bits are ignored, like CR3's flag bits; the table
+        # itself need not be page aligned in this model.)
+        self.page_table_base = base & ~3 & MASK32
+        self._mapping_changed(None)
 
     def enable_paging(self) -> None:
-        self.paging_enabled = True
+        if not self.paging_enabled:
+            self.paging_enabled = True
+            if not self._observing:
+                # Lazy registration keeps paging-off workloads from
+                # paying an observer call per store.
+                self._bus.store_observers.append(self._on_ram_write)
+                self._observing = True
+            self._mapping_changed(None)
 
     def disable_paging(self) -> None:
-        self.paging_enabled = False
+        if self.paging_enabled:
+            self.paging_enabled = False
+            self._mapping_changed(None)
+
+    def set_tlb_enabled(self, enabled: bool) -> None:
+        """Host dial: turn the software TLB off (every translation
+        walks) or on.  Architecturally invisible either way."""
+        if self.tlb_enabled != bool(enabled):
+            self.tlb_enabled = bool(enabled)
+            self._tlb.clear()
+
+    # ------------------------------------------------------------------
+    # Architectural translation
+    # ------------------------------------------------------------------
 
     def translate(self, vaddr: int, is_write: bool) -> int:
         """Return the physical address for ``vaddr`` or raise #PF."""
@@ -49,8 +109,14 @@ class MMU:
             return vaddr
         self.translations += 1
         vpn = vaddr >> PAGE_SHIFT
-        pte_addr = (self.page_table_base + vpn * 4) & MASK32
-        pte = self._bus.read(pte_addr, 4)
+        pte = self._tlb.get(vpn) if self.tlb_enabled else None
+        if pte is None:
+            self.walks += 1
+            pte = self._walk(vpn)
+            if self.tlb_enabled and pte & PTE_PRESENT:
+                self._tlb[vpn] = pte
+        else:
+            self.tlb_hits += 1
         if not pte & PTE_PRESENT:
             self.faults += 1
             raise page_fault(vaddr, is_write, present=False)
@@ -75,3 +141,75 @@ class MMU:
         if (vaddr >> PAGE_SHIFT) != (last_byte >> PAGE_SHIFT):
             self.translate(last_byte, is_write)
         return first
+
+    # ------------------------------------------------------------------
+    # Host-side probes (non-architectural)
+    # ------------------------------------------------------------------
+
+    def probe(self, vaddr: int) -> int | None:
+        """Host-side mapping probe: the physical address ``vaddr`` maps
+        to, or None if unmapped/unwalkable.
+
+        Never raises, and never touches the architectural
+        ``translations``/``faults`` counters — CMS dispatch uses this to
+        test identity mappings without perturbing the differential
+        compare.  Shares the TLB with ``translate``.
+        """
+        vaddr &= MASK32
+        if not self.paging_enabled:
+            return vaddr
+        self.probes += 1
+        vpn = vaddr >> PAGE_SHIFT
+        pte = self._tlb.get(vpn) if self.tlb_enabled else None
+        if pte is None:
+            self.probe_walks += 1
+            try:
+                pte = self._walk(vpn)
+            except GuestException:
+                return None
+            if self.tlb_enabled and pte & PTE_PRESENT:
+                self._tlb[vpn] = pte
+        else:
+            self.tlb_hits += 1
+        if not pte & PTE_PRESENT:
+            return None
+        return (pte & ~(PAGE_SIZE - 1)) | (vaddr & (PAGE_SIZE - 1))
+
+    # ------------------------------------------------------------------
+    # TLB maintenance
+    # ------------------------------------------------------------------
+
+    def _walk(self, vpn: int) -> int:
+        pte_addr = (self.page_table_base + vpn * 4) & MASK32
+        return self._bus.read(pte_addr, 4)
+
+    def _on_ram_write(self, addr: int, size: int) -> None:
+        """Bus store observer: evict TLB entries whose PTEs were hit.
+
+        Fires for every physical RAM write (guest stores, commit
+        drains, DMA, disk) while paging is enabled; only writes inside
+        the page-table span do any work.
+        """
+        if not self.paging_enabled:
+            return
+        lo = addr - self.page_table_base
+        hi = lo + size
+        if hi <= 0 or lo >= PT_SPAN:
+            return
+        first = max(lo, 0) >> 2
+        last = (hi - 1) >> 2
+        for vpn in range(first, last + 1):
+            self._mapping_changed(vpn)
+
+    def _mapping_changed(self, vpn: int | None) -> None:
+        """A PTE (or the whole table) changed: evict, bump the epoch,
+        and notify CMS-side observers (``None`` means everything)."""
+        self.mapping_epoch += 1
+        if vpn is None:
+            if self._tlb:
+                self.tlb_invalidations += len(self._tlb)
+                self._tlb.clear()
+        elif self._tlb.pop(vpn, None) is not None:
+            self.tlb_invalidations += 1
+        for observer in self.mapping_observers:
+            observer(vpn)

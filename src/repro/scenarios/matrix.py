@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.scenarios import guestjit, irqstorm, scheduler, soak
+from repro.scenarios import guestjit, irqstorm, paging, scheduler, soak
 from repro.scenarios.base import Scenario
 
 SCENARIOS: tuple[Scenario, ...] = (
@@ -27,6 +27,15 @@ SCENARIOS: tuple[Scenario, ...] = (
         description=("guest emits, patches, and re-enters its own "
                      "generated code every round"),
         build=guestjit.build,
+    ),
+    Scenario(
+        name="paging",
+        title="Paging OS",
+        description=("page-table remapping, disk-backed demand faults, "
+                     "write-protect flips, and non-identity execution "
+                     "under preemptive timer slices"),
+        build=paging.build,
+        pin_interrupts=False,
     ),
     Scenario(
         name="soak",

@@ -1,0 +1,361 @@
+"""Paging "OS": MMU remapping, demand faults, and write-protect flips
+under preemptive timer slices.
+
+The guest builds an identity page table, enables paging, and then — all
+while a free-running timer ISR preempts it — loops through five kinds
+of virtual-memory adversity per round:
+
+* **data-window remap**: a virtual window page is pointed at one frame,
+  written, re-pointed at a second frame, and written again; the frames
+  are read back through their identity mappings, so a stale TLB entry
+  or an incoherent translated store would corrupt the checksum,
+* **demand paging**: four virtual pages are backed by disk sectors and
+  kept to a two-page resident set; every touch takes a not-present #PF
+  whose handler programs a disk read (DMA through the bus) into the
+  identity frame, polls it home, and maps the page read-only,
+* **write-protect flip**: the PTE of a page holding a *hot translated*
+  store loop and its data cell has its writable bit cleared each round;
+  the first store takes a precise #PF out of translated code (§3.2 —
+  rollback, recovery, interpreter re-fault), and the handler restores
+  the bit,
+* **non-identity execution**: a virtual code window is mapped onto two
+  different physical routines in turn and called; the CMS must run that
+  code through the interpreter (translations are identity-only),
+* **page-boundary remap**: a hot routine whose code spans two pages has
+  its *second* page remapped to an alternate tail; stale translated
+  code (or a stale chain) would fold the old constant (§3.6.1).
+
+Convergence: #PF delivery is synchronous, so the fault count is a pure
+function of the touch sequence — identical in both engines.  The timer
+tick count is schedule-dependent, so this scenario runs with
+``pin_interrupts=False`` and zeroes the ISR-owned cells before the
+checksum.  The disk-completion ISR only counts deliveries; its cell is
+zeroed too (delivery can lag a completion across an IF=0 window).  The
+#PF handler follows the classic convention: the faulting context parks
+the target vaddr in ``pg_target`` before any possibly-faulting access,
+and the handler dispatches on the error code's present bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.builder import MACRO_LIBRARY, wrap
+
+from repro.scenarios.base import ScenarioProgram
+
+PT_BASE = 0x003F0000  # 1024 PTEs cover the 4 MiB of RAM
+DEMAND_BASE = 0x00300000  # four demand pages, vpns 0x300..0x303
+SECTORS_PER_PAGE = 2  # 1 KiB of backing store per demand page
+DISK_SECTORS = 4 * SECTORS_PER_PAGE
+VWIN = 0x00310000  # data window vpn 0x310
+FRAME_A = 0x00320000
+FRAME_B = 0x00321000
+VCODE = 0x00340000  # code window vpn 0x340 (never identity)
+FCODE_A = 0x00330000
+FCODE_B = 0x00331000
+SPAN_HEAD = 0x00352FC0  # head ends on page 0x352, tail starts 0x353000
+SPAN_TAIL = 0x00353000
+SPAN_ALT = 0x00354000  # alternate tail frame for the remap
+WP_PAGE = 0x00360000  # hot store loop + its data cell share this page
+
+
+def _pte(vpn: int) -> int:
+    """Address of the PTE for virtual page number ``vpn``."""
+    return PT_BASE + vpn * 4
+
+
+@dataclass(frozen=True)
+class PagingKnobs:
+    """Budget-derived sizing for one paging phase."""
+
+    timer_period: int
+    rounds: int
+    wp_iters: int
+    span_iters: int
+
+    @classmethod
+    def for_budget(cls, budget: int) -> "PagingKnobs":
+        # Page-table construction costs ~5.2k instructions up front;
+        # each round costs ~550 including its five #PFs and ISR ticks.
+        return cls(
+            timer_period=300,
+            rounds=max(2, (budget - 6000) // 560),
+            wp_iters=12,
+            span_iters=10,
+        )
+
+
+def phase_body(p: str, knobs: PagingKnobs) -> str:
+    return f"""
+; ---- paging OS ({p}) -------------------------------------------------
+    mov ebx, 0
+    storei [ebx + 56], {p}isr_pf        ; IVT vector 14 (#PF)
+    storei [ebx + 128], {p}isr_timer    ; IVT vector 32 (IRQ 0)
+    storei [ebx + 140], {p}isr_disk     ; IVT vector 35 (IRQ 3, disk)
+    storei [ebx + {p}ticks], 0
+    storei [ebx + {p}diskdone], 0
+    storei [ebx + {p}dmd_t], 0
+    storei [ebx + {p}target], 0
+    ; Build the identity page table: every frame present + writable.
+    mov ebx, {PT_BASE:#x}
+    mov ecx, 0
+{p}pt_build:
+    mov eax, ecx
+    shl eax, 12
+    or eax, 3
+    storex [ebx + ecx*4], eax
+    inc ecx
+    cmp ecx, 1024
+    jne {p}pt_build
+    ; Punch out the demand pages and the code window.
+    storei [ebx + {0x300 * 4:#x}], 0
+    storei [ebx + {0x301 * 4:#x}], 0
+    storei [ebx + {0x302 * 4:#x}], 0
+    storei [ebx + {0x303 * 4:#x}], 0
+    storei [ebx + {0x340 * 4:#x}], 0
+    mov eax, {PT_BASE:#x}
+    setpt eax
+    pgon
+    mov eax, {knobs.timer_period}
+    out 0x40
+    mov eax, 1
+    out 0x41                            ; preemption starts here
+    sti
+    mov edi, 0
+{p}round:
+    ; ---- (a) data-window remap: VWIN -> A, write; -> B, write -------
+    mov ecx, {_pte(VWIN >> 12):#x}
+    storei [ecx], {FRAME_A | 3:#x}
+    mov edx, {VWIN:#x}
+    mov eax, edi
+    add eax, 0x0DDC0DE
+    store [edx], eax
+    store [edx + 64], eax
+    storei [ecx], {FRAME_B | 3:#x}      ; remap: the TLB entry must die
+    xor eax, 0x5A5A5A5A
+    store [edx], eax
+    store [edx + 64], eax
+    ; Read the frames back through their identity mappings.
+    mov edx, {FRAME_A:#x}
+    load eax, [edx]
+    mix eax
+    mov edx, {FRAME_B:#x}
+    load eax, [edx + 64]
+    mix eax
+    ; ---- (b) demand paging: touch all four pages, 2-page residency --
+    mov edx, {DEMAND_BASE:#x}
+    call {p}touch
+    mov edx, {DEMAND_BASE + 0x1000:#x}
+    call {p}touch
+    mov edx, {DEMAND_BASE + 0x2000:#x}
+    call {p}touch
+    mov edx, {DEMAND_BASE + 0x3000:#x}
+    call {p}touch
+    ; ---- (c) write-protect flip on the hot store loop's page --------
+    mov ecx, {_pte(WP_PAGE >> 12):#x}
+    load eax, [ecx]
+    and eax, 0xFFFFFFFD                 ; clear writable
+    store [ecx], eax
+    mov ebx, 0
+    mov eax, {p}wp_cell
+    store [ebx + {p}target], eax        ; park the #PF hint
+    call {p}wp_fn                       ; first store takes a WP fault
+    ; ---- (d) run code through a non-identity mapping ----------------
+    mov ecx, {_pte(VCODE >> 12):#x}
+    storei [ecx], {FCODE_A | 1:#x}
+    call {VCODE:#x}
+    mix eax
+    storei [ecx], {FCODE_B | 1:#x}
+    call {VCODE:#x}
+    mix eax
+    ; ---- (e) remap the tail page of the spanning hot routine --------
+    mov ecx, {knobs.span_iters}
+{p}span_hot:
+    call {p}span
+    mix eax
+    dec ecx
+    jnz {p}span_hot
+    mov ecx, {_pte(SPAN_TAIL >> 12):#x}
+    storei [ecx], {SPAN_ALT | 3:#x}     ; tail now reads the alt frame
+    call {p}span                        ; must fold the alternate tail
+    mix eax
+    storei [ecx], {SPAN_TAIL | 3:#x}    ; restore identity
+    inc edi
+    cmp edi, {knobs.rounds}
+    jne {p}round
+    cli
+    mov eax, 0
+    out 0x41                            ; timer off
+    pgoff
+    ; Zero the delivery-count-dependent cells, then fold the results.
+    mov ebx, 0
+    storei [ebx + {p}ticks], 0
+    storei [ebx + {p}diskdone], 0
+    load eax, [ebx + {p}wp_cell]
+    mix eax
+    load eax, [ebx + {p}dmd_t]
+    mix eax
+    jmp {p}phase_end
+
+{p}touch:                               ; EDX = demand page vaddr
+    mov ebx, 0
+    load eax, [ebx + {p}dmd_t]
+    cmp eax, 2
+    jb {p}touch_noev
+    sub eax, 2                          ; evict page (t-2) & 3: clean
+    and eax, 3                          ; read-only pages need no
+    shl eax, 2                          ; write-back
+    add eax, {_pte(DEMAND_BASE >> 12):#x}
+    storei [eax], 0
+{p}touch_noev:
+    load eax, [ebx + {p}dmd_t]
+    inc eax
+    store [ebx + {p}dmd_t], eax
+    store [ebx + {p}target], edx        ; park the #PF hint
+    load eax, [edx]                     ; not-present: demand fault
+    mix eax
+    load eax, [edx + 256]
+    mix eax
+    load eax, [edx + 512]
+    mix eax
+    load eax, [edx + 768]
+    mix eax
+    ret
+
+{p}isr_timer:
+    isr_save
+    mov ebx, 0
+    load eax, [ebx + {p}ticks]
+    inc eax
+    store [ebx + {p}ticks], eax
+    eoi
+    isr_restore
+    iret
+
+{p}isr_disk:
+    isr_save
+    mov ebx, 0
+    load eax, [ebx + {p}diskdone]
+    inc eax
+    store [ebx + {p}diskdone], eax
+    eoi
+    isr_restore
+    iret
+
+{p}isr_pf:                              ; [esp]=err, +4=eip, +8=eflags
+    isr_save                            ; err now at [esp + 16]
+    mov ebx, 0
+    load ecx, [ebx + {p}target]         ; hinted faulting vaddr
+    shr ecx, 12
+    shl ecx, 2
+    add ecx, {PT_BASE:#x}               ; ECX = &PTE
+    load eax, [esp + 16]
+    and eax, 1
+    jnz {p}pf_wp                        ; present -> write-protect fault
+    ; Not present: DMA the backing sectors into the identity frame.
+    load edx, [ebx + {p}target]
+    shr edx, 12
+    shl edx, 12                         ; EDX = page base (= frame)
+    mov eax, edx
+    shr eax, 12
+    sub eax, {DEMAND_BASE >> 12:#x}
+    shl eax, 1                          ; x SECTORS_PER_PAGE
+    out 0x60                            ; sector
+    mov eax, edx
+    out 0x61                            ; destination
+    mov eax, {SECTORS_PER_PAGE}
+    out 0x62
+    mov eax, 1
+    out 0x63                            ; start the read
+{p}pf_wait:
+    in 0x63
+    cmp eax, 0
+    jne {p}pf_wait                      ; poll busy (IF=0 here)
+    mov eax, edx
+    or eax, 1                           ; map present, read-only text
+    store [ecx], eax
+    jmp {p}pf_out
+{p}pf_wp:
+    load eax, [ecx]
+    or eax, 2                           ; restore writable
+    store [ecx], eax
+{p}pf_out:
+    isr_restore
+    add esp, 4                          ; drop the error code
+    iret
+{p}phase_end:
+"""
+
+
+def phase_data(p: str, base: int) -> str:
+    """Bookkeeping cells plus the remote code frames the phases map."""
+    return f"""
+.org {base:#x}
+{p}ticks:
+    .word 0
+{p}diskdone:
+    .word 0
+{p}dmd_t:
+    .word 0
+{p}target:
+    .word 0
+
+.org {FCODE_A:#x}
+{p}vfn_a:                               ; runs at {VCODE:#x} (window)
+    mov eax, 0x0A11CE00
+    add eax, 0x33
+    ret
+
+.org {FCODE_B:#x}
+{p}vfn_b:
+    mov eax, 0x0B0B0000
+    add eax, 0x44
+    ret
+
+.org {SPAN_HEAD:#x}
+{p}span:                                ; head page 0x352, tail 0x353
+    mov eax, 0x0A0B0C0D
+    xor eax, 0x00FF00FF
+    jmp {p}span_tail
+
+.org {SPAN_TAIL:#x}
+{p}span_tail:
+    add eax, 0x1003
+    rol eax, 3
+    ret
+
+.org {SPAN_ALT:#x}
+{p}span_alt:                            ; same page offsets as the tail
+    add eax, 0x77777777
+    rol eax, 9
+    ret
+
+.org {WP_PAGE:#x}
+{p}wp_fn:                               ; store loop beside its cell
+    mov ebx, 0
+    mov ecx, {{WP_ITERS}}
+{p}wp_loop:
+    load eax, [ebx + {p}wp_cell]
+    imul eax, 5
+    add eax, 0x1234567
+    store [ebx + {p}wp_cell], eax
+    dec ecx
+    jnz {p}wp_loop
+    ret
+.align 16
+{p}wp_cell:
+    .word 0x0C0FFEE0
+"""
+
+
+def build(budget: int, seed: int) -> ScenarioProgram:
+    knobs = PagingKnobs.for_budget(budget)
+    data = phase_data("pg_", 0x00100000).replace(
+        "{WP_ITERS}", str(knobs.wp_iters))
+    source = MACRO_LIBRARY + wrap(phase_body("pg_", knobs), data=data)
+    return ScenarioProgram(
+        source=source,
+        max_instructions=budget * 3,
+        disk_sectors=DISK_SECTORS,
+    )

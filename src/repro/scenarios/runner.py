@@ -75,6 +75,30 @@ def _outcome(system: CodeMorphingSystem, prog: ScenarioProgram,
     )
 
 
+def _mmu_record(machine: Machine) -> dict:
+    """Gateable MMU/TLB facts from the CMS leg.
+
+    ``translations``/``faults`` are architectural (walks the guest OS
+    paid for); ``probes``/``probe_walks`` are CMS-internal mapping
+    checks, and their difference — ``probe_walks_saved`` — is how many
+    probe walks the software TLB absorbed.  All of these are pure
+    functions of the guest program and the CMS policies, so they live
+    inside the fingerprint.
+    """
+    mmu = machine.mmu
+    return {
+        "translations": mmu.translations,
+        "faults": mmu.faults,
+        "walks": mmu.walks,
+        "tlb_hits": mmu.tlb_hits,
+        "tlb_invalidations": mmu.tlb_invalidations,
+        "probes": mmu.probes,
+        "probe_walks": mmu.probe_walks,
+        "probe_walks_saved": mmu.probes - mmu.probe_walks,
+        "mapping_epoch": mmu.mapping_epoch,
+    }
+
+
 def _counters(stats_dict: dict) -> dict:
     return {key: value for key, value in sorted(stats_dict.items())
             if isinstance(value, (int, float))
@@ -137,6 +161,7 @@ def run_scenario(scenario: Scenario, budget: int, seed: int,
             "chaos_injected": health.chaos_injected,
         },
         "counters": _counters(system.stats.as_dict(cms_config.cost)),
+        "mmu": _mmu_record(machine),
         "dispatch": system.obs.dispatch_summary(),
         "timing": {
             "interp_seconds": round(interp_seconds, 4),

@@ -21,6 +21,8 @@ Subcommands::
     repro-cms scenario list              # adversarial scenario matrix
     repro-cms scenario run [names...]    # run scenarios differentially,
                                          # print/emit pass+perf records
+    repro-cms scenario fleet [names...]  # host one scenario guest per
+                                         # tenant under the supervisor
 
 ``top`` and ``health`` also accept ``--session PATH`` (a JSONL
 telemetry file) or ``--snapshot PATH`` (a warm-start snapshot) to
@@ -736,6 +738,31 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
     import json
 
+    if args.action == "fleet":
+        from repro.scenarios.fleet import run_scenario_fleet
+
+        names = args.scenarios or ["paging"]
+        clean = True
+        for name in names:
+            report = run_scenario_fleet(
+                name, tenants=args.tenants, budget=args.budget,
+                seed=args.seed, config=config_from_args(args))
+            print(f"== fleet:{name} x{report.tenants}: "
+                  f"{'PASS' if report.ok else 'FAIL'}")
+            print(f"   rounds {report.rounds}"
+                  f"  restarts {report.restarts}"
+                  f"  shared imports {report.imported_translations}"
+                  f"  uncontained {report.uncontained}")
+            for diff in report.divergences:
+                print(f"   DIFF {diff}")
+            clean = clean and report.ok
+        if clean:
+            print("all fleet-hosted scenarios differentially clean")
+            return 0
+        print("FLEET SCENARIO DIVERGENCE — see DIFF lines above",
+              file=sys.stderr)
+        return 1
+
     from repro.scenarios.runner import all_passed, run_matrix
 
     report = run_matrix(
@@ -771,10 +798,12 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def add_scenario_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("action", choices=("list", "run"))
+    parser.add_argument("action", choices=("list", "run", "fleet"))
     parser.add_argument("scenarios", nargs="*",
-                        help="scenario names for `run` "
-                             "(default: the whole matrix)")
+                        help="scenario names for `run`/`fleet` "
+                             "(default: whole matrix / paging)")
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="tenant count for `fleet` (default 3)")
     parser.add_argument("--budget", type=int, default=120_000,
                         help="guest-instruction sizing budget per "
                              "scenario (default 120000)")

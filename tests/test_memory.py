@@ -166,6 +166,162 @@ class TestMMU:
             mmu.translate_range(PAGE_SIZE - 2, 4, False)
 
 
+class TestMMUPageTableAlignment:
+    """Regression: ``set_page_table`` must align *down to 4 bytes*.
+
+    The pre-fix code had the ternary inverted — a misaligned base was
+    page-aligned (dropping 0xF00 of the intended base) while an
+    aligned base was left alone.  With a PTE written at the word-
+    aligned base, translation through the buggy base reads the wrong
+    table entirely.
+    """
+
+    def make(self):
+        ram = PhysicalMemory(16 * PAGE_SIZE)
+        return ram, MMU(MemoryBus(ram))
+
+    def test_misaligned_base_aligns_down_to_word(self):
+        _, mmu = self.make()
+        mmu.set_page_table(8 * PAGE_SIZE + 0xF02)
+        assert mmu.page_table_base == 8 * PAGE_SIZE + 0xF00
+
+    def test_word_aligned_base_is_kept_exactly(self):
+        _, mmu = self.make()
+        mmu.set_page_table(8 * PAGE_SIZE + 0xF00)
+        assert mmu.page_table_base == 8 * PAGE_SIZE + 0xF00
+
+    def test_misaligned_base_still_reaches_its_table(self):
+        ram, mmu = self.make()
+        pt_base = 8 * PAGE_SIZE + 0x200  # word-aligned, NOT page-aligned
+        ram.write32(pt_base, (3 * PAGE_SIZE) | PTE_PRESENT | PTE_WRITABLE)
+        mmu.set_page_table(pt_base + 2)  # guest passed a sloppy base
+        mmu.enable_paging()
+        assert mmu.translate(0x10, False) == 3 * PAGE_SIZE + 0x10
+
+
+class TestMMUProbe:
+    """Regression: CMS-internal probes must not perturb architectural
+    counters (``translations``/``faults``) — only probe telemetry."""
+
+    def make_mapped(self):
+        ram = PhysicalMemory(16 * PAGE_SIZE)
+        bus = MemoryBus(ram)
+        mmu = MMU(bus)
+        pt_base = 8 * PAGE_SIZE
+        ram.write32(pt_base + 1 * 4, (1 * PAGE_SIZE) | PTE_PRESENT |
+                    PTE_WRITABLE)
+        mmu.set_page_table(pt_base)
+        mmu.enable_paging()
+        return ram, bus, mmu
+
+    def test_probe_resolves_like_translate(self):
+        _, _, mmu = self.make_mapped()
+        assert mmu.probe(PAGE_SIZE + 0x10) == PAGE_SIZE + 0x10
+
+    def test_probe_unmapped_returns_none_instead_of_raising(self):
+        _, _, mmu = self.make_mapped()
+        assert mmu.probe(5 * PAGE_SIZE) is None
+
+    def test_probe_leaves_architectural_counters_alone(self):
+        _, _, mmu = self.make_mapped()
+        mmu.translate(PAGE_SIZE, False)
+        before = (mmu.translations, mmu.faults)
+        mmu.probe(PAGE_SIZE)  # mapped
+        mmu.probe(5 * PAGE_SIZE)  # not mapped: would have counted a fault
+        assert (mmu.translations, mmu.faults) == before
+        assert mmu.probes == 2
+
+    def test_probe_identity_when_paging_off(self):
+        ram = PhysicalMemory(16 * PAGE_SIZE)
+        mmu = MMU(MemoryBus(ram))
+        assert mmu.probe(0x12345) == 0x12345
+        assert mmu.translations == 0
+
+
+class TestMMUTLB:
+    def make_mapped(self, tlb=True):
+        ram = PhysicalMemory(16 * PAGE_SIZE)
+        bus = MemoryBus(ram)
+        mmu = MMU(bus)
+        mmu.set_tlb_enabled(tlb)
+        pt_base = 8 * PAGE_SIZE
+        ram.write32(pt_base + 0 * 4, (2 * PAGE_SIZE) | PTE_PRESENT |
+                    PTE_WRITABLE)
+        ram.write32(pt_base + 1 * 4, (3 * PAGE_SIZE) | PTE_PRESENT |
+                    PTE_WRITABLE)
+        mmu.set_page_table(pt_base)
+        mmu.enable_paging()
+        return ram, bus, mmu, pt_base
+
+    def test_second_translation_hits_the_tlb(self):
+        _, _, mmu, _ = self.make_mapped()
+        mmu.translate(0x10, False)
+        mmu.translate(0x20, True)
+        assert mmu.walks == 1
+        assert mmu.tlb_hits == 1
+
+    def test_pte_store_through_the_bus_invalidates_the_entry(self):
+        _, bus, mmu, pt_base = self.make_mapped()
+        assert mmu.translate(0x10, False) == 2 * PAGE_SIZE + 0x10
+        bus.write(pt_base, (5 * PAGE_SIZE) | PTE_PRESENT | PTE_WRITABLE, 4)
+        assert mmu.tlb_invalidations >= 1
+        assert mmu.translate(0x10, False) == 5 * PAGE_SIZE + 0x10
+
+    def test_unrelated_store_does_not_invalidate(self):
+        _, bus, mmu, pt_base = self.make_mapped()
+        mmu.translate(0x10, False)
+        walks = mmu.walks
+        bus.write(PAGE_SIZE, 0xAB, 4)  # outside the page table
+        mmu.translate(0x10, False)
+        assert mmu.walks == walks  # still served from the TLB
+
+    def test_set_page_table_flushes_everything(self):
+        _, _, mmu, pt_base = self.make_mapped()
+        mmu.translate(0x10, False)
+        epoch = mmu.mapping_epoch
+        mmu.set_page_table(pt_base)
+        assert mmu.mapping_epoch > epoch
+        mmu.translate(0x10, False)
+        assert mmu.walks == 2  # flushed: walked again
+
+    def test_paging_toggle_flushes_everything(self):
+        _, _, mmu, _ = self.make_mapped()
+        mmu.translate(0x10, False)
+        mmu.disable_paging()
+        mmu.enable_paging()
+        mmu.translate(0x10, False)
+        assert mmu.walks == 2
+
+    def test_tlb_off_matches_tlb_on_architecturally(self):
+        _, bus_on, on, pt = self.make_mapped(tlb=True)
+        _, bus_off, off, _ = self.make_mapped(tlb=False)
+        for vaddr, is_write in ((0x10, False), (PAGE_SIZE + 4, True),
+                                (0x10, False)):
+            assert on.translate(vaddr, is_write) == \
+                off.translate(vaddr, is_write)
+        bus_on.write(pt, (6 * PAGE_SIZE) | PTE_PRESENT | PTE_WRITABLE, 4)
+        bus_off.write(pt, (6 * PAGE_SIZE) | PTE_PRESENT | PTE_WRITABLE, 4)
+        assert on.translate(0x10, False) == off.translate(0x10, False)
+        assert off.tlb_hits == 0
+        assert on.tlb_hits > 0
+
+    def test_translate_range_spanning_pages_tracks_remapping(self):
+        _, bus, mmu, pt_base = self.make_mapped()
+        assert mmu.translate_range(PAGE_SIZE - 2, 4, False) == \
+            2 * PAGE_SIZE + PAGE_SIZE - 2
+        walks = mmu.walks
+        # Remap the second page; the spanning check must re-validate it
+        # (a fresh walk), not serve a stale TLB entry.
+        bus.write(pt_base + 1 * 4,
+                  (7 * PAGE_SIZE) | PTE_PRESENT | PTE_WRITABLE, 4)
+        mmu.translate_range(PAGE_SIZE - 2, 4, False)
+        assert mmu.walks == walks + 1
+        # And dropping its present bit must fault the spanning access.
+        bus.write(pt_base + 1 * 4, 0, 4)
+        with pytest.raises(GuestException):
+            mmu.translate_range(PAGE_SIZE - 2, 4, False)
+
+
 class TestFineGrainCache:
     def test_miss_then_install_then_hit(self):
         cache = FineGrainCache(2)

@@ -1,0 +1,279 @@
+"""Paging coherency: translated code vs a live guest MMU (§3.2, §3.6.1).
+
+Pins the three MMU-related fixes plus the precise-exception contract:
+
+* stale translated code must not survive a page-table remap — neither
+  via dispatch (a translation whose pages are no longer identity-
+  mapped) nor via a chain patched before the remap,
+* a write-protect #PF raised mid-translation must roll back and
+  re-deliver in the interpreter at the exact faulting instruction,
+* a translated store into the live page table must abort the region
+  (store-buffer contents are invisible to the MMU's table walker),
+* CMS-internal mapping probes must never perturb the architectural
+  ``translations``/``faults`` counters.
+"""
+
+from __future__ import annotations
+
+from repro import CMSConfig
+from repro.cms.system import CodeMorphingSystem
+from repro.machine import Machine
+from repro.memory.mmu import PTE_PRESENT, PTE_WRITABLE
+from repro.memory.physical import PAGE_SIZE
+
+from conftest import assert_equivalent, run_cms
+
+FAST = CMSConfig(translation_threshold=4, fault_threshold=2)
+
+# Identity page table over all 1024 frames at 0x00200000, then paging
+# on.  EBX is left pointing at the table.
+_PAGING_ON = """
+    mov ebx, 0x00200000
+    mov ecx, 0
+ptbuild:
+    mov eax, ecx
+    shl eax, 12
+    or eax, 3
+    storex [ebx + ecx*4], eax
+    inc ecx
+    cmp ecx, 1024
+    jne ptbuild
+    mov eax, 0x00200000
+    setpt eax
+    pgon
+"""
+
+# A hot routine whose head (page 0x302) falls through a `jmp` into a
+# tail on the next page (0x303).  Once both sides are translated and
+# chained, remapping the tail page to an alternate frame must force the
+# next call through the new mapping — a stale tail translation (or a
+# stale chain into it) folds 0x2222 where the interpreter folds 0x4444.
+STALE_TAIL_PROGRAM = """
+.org 0x00010000
+start:
+    mov esp, 0x0007F000
+    mov esi, 0
+""" + _PAGING_ON + """
+    mov edi, 0
+hot:
+    call span
+    add esi, eax
+    inc edi
+    cmp edi, 16
+    jne hot
+    storei [ebx + 0xC0C], 0x00304003    ; vpn 0x303 -> alt frame 0x304
+    call span
+    add esi, eax
+    storei [ebx + 0xC0C], 0x00303003    ; back to identity
+    call span
+    add esi, eax
+    pgoff
+    cli
+    hlt
+
+.org 0x00302FF0
+span:
+    mov eax, 0x1111
+    jmp span_tail
+
+.org 0x00303000
+span_tail:
+    add eax, 0x2222
+    ret
+
+.org 0x00304000
+span_alt:
+    add eax, 0x4444
+    ret
+"""
+
+# A hot store loop sharing its page (0x60) with its data cell.  After a
+# warm-up that gets it translated, the main program clears the PTE's
+# writable bit and calls it once more: the store must deliver a precise
+# #PF — the handler records the pushed EIP and restores the bit.
+WP_FLIP_PROGRAM = """
+.org 0x00010000
+start:
+    mov esp, 0x0007F000
+    mov ecx, 0
+    storei [ecx + 56], isr_pf           ; IVT vector 14
+    storei [ecx + expected], wp_store
+""" + _PAGING_ON + """
+    mov esi, 0
+    mov edi, 0
+warm:
+    call wp_fn
+    inc edi
+    cmp edi, 6
+    jne warm
+    load eax, [ebx + 0x180]             ; PTE of vpn 0x60
+    and eax, 0xFFFFFFFD                 ; clear writable
+    store [ebx + 0x180], eax
+    call wp_fn                          ; store faults mid-translation
+    pgoff
+    mov ecx, 0
+    load eax, [ecx + wp_cell]
+    add esi, eax
+    load eax, [ecx + fault_eip]
+    add esi, eax
+    cli
+    hlt
+
+isr_pf:
+    push eax
+    push ecx
+    load eax, [esp + 12]                ; pushed (faulting) EIP
+    mov ecx, 0
+    store [ecx + fault_eip], eax
+    load eax, [ecx + 0x200180]
+    or eax, 2                           ; restore writable
+    store [ecx + 0x200180], eax
+    pop ecx
+    pop eax
+    add esp, 4                          ; drop the error code
+    iret
+
+.org 0x00060000
+wp_fn:
+    mov ecx, 3
+    mov edx, 0
+wp_loop:
+    load eax, [edx + wp_cell]
+    imul eax, 5
+    add eax, 0x777
+wp_store:
+    store [edx + wp_cell], eax
+    dec ecx
+    jnz wp_loop
+    ret
+.align 16
+wp_cell:
+    .word 0x1234
+
+.org 0x00100000
+fault_eip:
+    .word 0
+expected:
+    .word 0
+"""
+
+# A hot loop that rewrites a live PTE (with its current value) every
+# iteration: each translated pass must abort with MMU_MUTATION and
+# re-execute the store through the interpreter.
+PT_STORE_PROGRAM = """
+.org 0x00010000
+start:
+    mov esp, 0x0007F000
+    mov esi, 0
+""" + _PAGING_ON + """
+    mov edi, 0
+mutloop:
+    storei [ebx + 0xFFC], 0x003FF003    ; PTE of vpn 0x3FF, same value
+    add esi, 7
+    rol esi, 3
+    inc edi
+    cmp edi, 24
+    jne mutloop
+    pgoff
+    cli
+    hlt
+"""
+
+
+def _ram32(machine: Machine, addr: int) -> int:
+    return machine.ram.read32(addr)
+
+
+class TestStaleCodeAfterRemap:
+    def test_remapped_tail_is_refetched(self):
+        both = assert_equivalent(STALE_TAIL_PROGRAM, config=FAST)
+        stats = both.cms_system.stats
+        assert stats.translations_made > 0
+        # The hazard was armed: the head had really chained into the
+        # tail, and the remap severed those chains (§3.6.1).
+        assert stats.chains_followed > 0
+        assert stats.mapping_unchains > 0
+        # The folded value proves the alternate tail actually ran:
+        # 16 * (0x1111 + 0x2222) + (0x1111 + 0x4444) + (0x1111 + 0x2222)
+        expected = 16 * 0x3333 + 0x5555 + 0x3333
+        regs, _, _ = both.cms_system.state.snapshot()
+        assert regs[6] == expected  # ESI
+
+    def test_remap_while_cold_is_also_correct(self):
+        # Interpreter-threshold run: no translations, same result —
+        # the reference semantics the translated path must match.
+        system, result = run_cms(STALE_TAIL_PROGRAM,
+                                 config=FAST.interpreter_only())
+        assert result.halted
+        assert system.stats.translations_made == 0
+
+
+class TestPreciseWriteProtectFault:
+    def test_pf_delivers_at_exact_faulting_instruction(self):
+        both = assert_equivalent(WP_FLIP_PROGRAM, config=FAST)
+        # Exactly one #PF in each leg — speculative rollback must not
+        # double-deliver.
+        assert both.ref_system.interpreter.exceptions_delivered == 1
+        assert both.cms_system.interpreter.exceptions_delivered == 1
+        # The fault really was taken out of translated code ...
+        stats = both.cms_system.stats
+        assert stats.faults.get("GUEST_FAULT", 0) >= 1
+        assert stats.rollbacks >= 1
+        # ... and the handler saw the exact faulting store's address.
+        machine = both.cms_machine
+        assert _ram32(machine, 0x00100000) == _ram32(machine, 0x00100004)
+        assert _ram32(machine, 0x00100000) != 0
+
+
+class TestLivePageTableStores:
+    def test_translated_pt_store_aborts_and_reexecutes(self):
+        both = assert_equivalent(PT_STORE_PROGRAM, config=FAST)
+        stats = both.cms_system.stats
+        assert stats.faults.get("MMU_MUTATION", 0) > 0
+        assert stats.rollbacks > 0
+
+
+class TestProbePurity:
+    def make_paged_system(self) -> CodeMorphingSystem:
+        machine = Machine()
+        machine.load_source("start:\n    cli\n    hlt\n")
+        pt_base = 0x00200000
+        for vpn in range(1024):
+            machine.ram.write32(pt_base + vpn * 4,
+                                (vpn << 12) | PTE_PRESENT | PTE_WRITABLE)
+        # vpn 0x60 non-identity, vpn 0x61 not present.
+        machine.ram.write32(pt_base + 0x60 * 4,
+                            (0x70 << 12) | PTE_PRESENT)
+        machine.ram.write32(pt_base + 0x61 * 4, 0)
+        machine.mmu.set_page_table(pt_base)
+        machine.mmu.enable_paging()
+        return CodeMorphingSystem(machine, FAST)
+
+    def test_identity_mapped_check_is_non_counting(self):
+        system = self.make_paged_system()
+        mmu = system.machine.mmu
+        before = (mmu.translations, mmu.faults)
+        for _ in range(5):
+            assert system._identity_mapped(0x10000)  # identity
+            assert not system._identity_mapped(0x60 * PAGE_SIZE)
+            assert not system._identity_mapped(0x61 * PAGE_SIZE)
+        assert (mmu.translations, mmu.faults) == before
+        assert mmu.probes == 15
+
+    def test_oracle_leg_fault_counter_parity(self):
+        # Runner-level pin: in the interpreter-only leg every MMU
+        # fault raised is delivered, so the architectural fault counter
+        # must exactly equal delivered exceptions.  Counting CMS-side
+        # probes (the pre-fix behavior) breaks this equality.
+        from repro.scenarios.matrix import get
+        from repro.scenarios.runner import _build_machine
+
+        prog = get("paging").build(6_000, 3)
+        machine, entry = _build_machine(prog, 3)
+        oracle = CodeMorphingSystem(machine,
+                                    CMSConfig().interpreter_only())
+        oracle.run(entry, max_instructions=prog.max_instructions)
+        delivered = oracle.interpreter.exceptions_delivered
+        assert delivered > 0
+        assert machine.mmu.faults == delivered
+        assert machine.mmu.probes > 0  # the dispatcher really probed

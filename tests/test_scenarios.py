@@ -29,7 +29,7 @@ def matrix_report():
 
 class TestMatrix:
     def test_names_unique_and_resolvable(self):
-        assert len(set(names())) == len(SCENARIOS) == 4
+        assert len(set(names())) == len(SCENARIOS) == 5
         for scenario in SCENARIOS:
             assert get(scenario.name) is scenario
         with pytest.raises(KeyError):
@@ -64,6 +64,28 @@ class TestMatrix:
             assert 0 < dispatch["p50_instructions"] \
                 <= dispatch["p99_instructions"]
 
+    def test_paging_pressure_recorded(self, matrix_report):
+        record = matrix_report["scenarios"]["paging"]
+        counters = record["counters"]
+        mmu = record["mmu"]
+        # Demand faults and write-protect flips really deliver #PF ...
+        assert counters["guest_exceptions_delivered"] > 10
+        # ... at least one of them precisely out of translated code,
+        assert counters["rollbacks"] > 0
+        # ... page-table mutations sever chains into remapped pages,
+        assert counters["mapping_unchains"] > 0
+        # ... and the live-PT store interlock actually fires.
+        assert counters.get("faults.MMU_MUTATION", 0) > 0
+        # The MMU section reflects real paging traffic: architectural
+        # walks, CMS mapping probes, and a TLB that absorbs some of
+        # the probe-walk cost.
+        assert mmu["faults"] > 10
+        assert mmu["probes"] > 0
+        assert mmu["tlb_invalidations"] > 0
+        assert mmu["probe_walks_saved"] > 0
+        assert mmu["probe_walks"] + mmu["probe_walks_saved"] == \
+            mmu["probes"]
+
     def test_health_sweeps_ran(self, matrix_report):
         soak = matrix_report["scenarios"]["soak"]
         assert soak["sweeps"] >= 1
@@ -89,6 +111,17 @@ class TestDeterminism:
         scenario = get("irq-storm")  # seeded disk + NIC payload folds
         assert record_fingerprint(run_scenario(scenario, BUDGET, 1)) != \
             record_fingerprint(run_scenario(scenario, BUDGET, 2))
+
+
+class TestFleetHosted:
+    def test_paging_guests_under_the_supervisor(self):
+        from repro.scenarios.fleet import run_scenario_fleet
+
+        report = run_scenario_fleet("paging", tenants=2, budget=6_000,
+                                    seed=SEED)
+        assert report.ok, report.divergences
+        assert report.uncontained == 0
+        assert all(row["state"] == "done" for row in report.tenant_rows)
 
 
 class TestChaosContainment:
